@@ -1,0 +1,32 @@
+"""Fig 6: (a) commit rate / latency vs batch size; (b) optimization
+ablation."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import fig6
+
+
+def test_fig6a_commit_rate_and_latency(benchmark, bench_scale, bench_rounds):
+    result = run_once(
+        benchmark, lambda: fig6.run_a(scale=bench_scale, rounds=bench_rounds)
+    )
+    print()
+    print(result.format())
+    batches = sorted(result.latency_us)
+    assert result.latency_us[batches[-1]] > result.latency_us[batches[0]]
+    assert all(0.2 < r <= 1.0 for r in result.commit_rate.values())
+
+
+def test_fig6b_optimization_ablation(benchmark, bench_scale, bench_rounds):
+    result = run_once(
+        benchmark, lambda: fig6.run_b(scale=bench_scale, rounds=bench_rounds)
+    )
+    print()
+    print(result.format())
+    base = result.mtps["baseline"]
+    final = result.mtps["+hash-buckets"]
+    # paper: high-contention bundle alone is ~1.75x; the full stack
+    # comfortably clears the unenhanced engine.
+    assert result.mtps["+high-contention"] > 1.2 * base
+    assert final > 1.2 * base

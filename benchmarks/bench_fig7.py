@@ -1,0 +1,29 @@
+"""Fig 7: YCSB A-E across batch and data sizes."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import fig7
+
+
+def test_fig7_ycsb(benchmark, bench_scale, bench_rounds):
+    result = run_once(
+        benchmark,
+        lambda: fig7.run(
+            scale=bench_scale,
+            rounds=bench_rounds,
+            batch_sizes=(2**10, 2**14),
+            data_sizes=(10_000, 1_000_000),
+        ),
+    )
+    print()
+    print(result.format())
+    m = result.mtps
+    # read-only C fastest, scan-heavy E slowest (paper's ordering)
+    for n in (10_000, 1_000_000):
+        assert m[("c", 2**14, n)] >= m[("a", 2**14, n)]
+        assert m[("e", 2**14, n)] == min(
+            m[(wl, 2**14, n)] for wl in fig7.WORKLOAD_NAMES
+        )
+    # throughput grows with batch size
+    assert m[("c", 2**14, 10_000)] > m[("c", 2**10, 10_000)]

@@ -1,0 +1,23 @@
+"""Table III: LTPG throughput vs batch size (2^8..2^16)."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import table3
+
+
+def test_table3_batch_scaling(benchmark, bench_scale, bench_rounds):
+    result = run_once(
+        benchmark,
+        lambda: table3.run(
+            scale=bench_scale,
+            rounds=bench_rounds,
+            batch_sizes=(2**8, 2**10, 2**12, 2**14),
+            configs=((50, 8), (100, 8), (0, 8)),
+        ),
+    )
+    print()
+    print(result.format())
+    # Larger batches amortize launch/sync/transfer overheads.
+    assert result.mtps[(2**14, 50, 8)] > result.mtps[(2**8, 50, 8)]
+    assert result.mtps[(2**12, 100, 8)] > result.mtps[(2**8, 100, 8)]

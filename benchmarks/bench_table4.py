@@ -1,0 +1,24 @@
+"""Table IV: per-batch latency + transmission latency, LTPG vs GaccO."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import table4
+
+
+def test_table4_latency(benchmark, bench_scale, bench_rounds):
+    result = run_once(
+        benchmark,
+        lambda: table4.run(scale=bench_scale, rounds=bench_rounds),
+    )
+    print()
+    print(result.format())
+    for w, b in table4.CONFIGS:
+        lat_l, xfer_l = result.cells[("ltpg", w, b)]
+        lat_g, xfer_g = result.cells[("gacco", w, b)]
+        assert lat_l < lat_g, f"LTPG must win batch latency at {w}/{b}"
+        assert xfer_l < xfer_g, f"LTPG must win transmission at {w}/{b}"
+    # paper: LTPG cuts batch latency by 44-72%
+    lat_l, _ = result.cells[("ltpg", 8, 8192)]
+    lat_g, _ = result.cells[("gacco", 8, 8192)]
+    assert 1 - lat_l / lat_g > 0.2

@@ -1,0 +1,18 @@
+"""Table V: read/write-set copy-back overhead vs batch size."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import table5
+
+
+def test_table5_rwset_copy_overhead(benchmark, bench_scale, bench_rounds):
+    result = run_once(
+        benchmark,
+        lambda: table5.run(scale=bench_scale, rounds=bench_rounds),
+    )
+    print()
+    print(result.format())
+    # roughly proportional to the batch size (paper: 25us -> 300us)
+    assert result.rwset_us[16_384] > result.rwset_us[1_024]
+    assert result.rwset_us[65_536] > result.rwset_us[16_384]

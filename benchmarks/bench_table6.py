@@ -1,0 +1,22 @@
+"""Table VI: commit rates with vs without high-contention optimization."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import table6
+
+
+def test_table6_high_contention_optimization(benchmark, bench_scale, bench_rounds):
+    result = run_once(
+        benchmark,
+        lambda: table6.run(scale=bench_scale, rounds=bench_rounds),
+    )
+    print()
+    print(result.format())
+    for w, b in table6.CONFIGS:
+        with_opt = result.cells[(w, b, True)]
+        without = result.cells[(w, b, False)]
+        # Payment jumps from ~zero; NewOrder barely moves; total rises.
+        assert with_opt.rate_payment > without.rate_payment
+        assert with_opt.rate_total > without.rate_total
+        assert abs(with_opt.rate_neworder - without.rate_neworder) < 0.25

@@ -1,0 +1,19 @@
+"""Table VII: standard vs large hash-bucket latency microbenchmark."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import table7
+
+
+def test_table7_bucket_latency(benchmark):
+    result = run_once(benchmark, table7.run)
+    print()
+    print(result.format())
+    # Marking dominates and large buckets shorten it; reads unaffected.
+    for key in result.cells:
+        t = result.cells[key]
+        assert t.mark_us > t.read_us
+    std = result.cells[(512, 512, 32, 1)]
+    big = result.cells[(512, 512, 32, 32)]
+    assert std.mark_us / big.mark_us > 1.5  # paper: ~2x at this point

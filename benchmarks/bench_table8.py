@@ -1,0 +1,16 @@
+"""Table VIII: memory occupancy of large vs standard hash tables."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import table8
+
+
+def test_table8_memory_occupancy(benchmark, bench_scale):
+    result = run_once(benchmark, lambda: table8.run(scale=bench_scale))
+    print()
+    print(result.format())
+    fractions = [result.pct[w][0] for w in table8.WAREHOUSES]
+    # tiny and flat across warehouse counts
+    assert all(f < 10.0 for f in fractions)
+    assert max(fractions) - min(fractions) < 5.0

@@ -1,0 +1,18 @@
+"""Table IX: zero-copy vs unified-memory per-phase times."""
+
+from __future__ import annotations
+
+from bench_util import run_once
+from repro.bench import table9
+
+
+def test_table9_unified_memory(benchmark, bench_scale):
+    result = run_once(
+        benchmark, lambda: table9.run(scale=max(bench_scale, 16.0), rounds=1)
+    )
+    print()
+    print(result.format())
+    zc = result.phases[32]
+    um = result.phases[2048]
+    # page faults inflate the unified-memory phases dramatically
+    assert um["execute"] > 2 * zc["execute"]

@@ -1,0 +1,10 @@
+"""Helpers shared by the benchmark files (kept out of conftest.py so
+the module name never collides with tests/conftest.py)."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic harness exactly once under pytest-benchmark
+    (the simulated clock has no run-to-run noise worth averaging)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

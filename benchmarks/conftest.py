@@ -1,0 +1,25 @@
+"""pytest-benchmark configuration for the paper-table harnesses.
+
+The harnesses run at ``REPRO_BENCH_SCALE`` (default 32: paper sizes
+divided by 32) so the whole suite finishes in minutes.  Set
+``REPRO_BENCH_SCALE=1`` — or use ``python -m repro.bench <exp> --scale 1``
+— for the full-scale reproduction recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+DEFAULT_SCALE = 32.0
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def bench_rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_ROUNDS", 2))

@@ -1,0 +1,19 @@
+"""LTPG reproduction: large-batch transaction processing on a simulated
+GPU with deterministic optimistic concurrency control.
+
+Subpackages:
+
+* :mod:`repro.gpusim`    — SIMT GPU simulator (the hardware substrate).
+* :mod:`repro.storage`   — columnar in-memory storage engine.
+* :mod:`repro.txn`       — transactions, contexts, batching.
+* :mod:`repro.core`      — the LTPG engine (the paper's contribution).
+* :mod:`repro.baselines` — the eight comparison systems of Table II.
+* :mod:`repro.workloads` — TPC-C and YCSB generators.
+* :mod:`repro.bench`     — harnesses regenerating every paper table/figure.
+"""
+
+from repro.core import LTPGConfig, LTPGEngine
+
+__version__ = "1.0.0"
+
+__all__ = ["LTPGConfig", "LTPGEngine", "__version__"]

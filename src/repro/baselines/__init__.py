@@ -1,0 +1,66 @@
+"""The eight comparison systems of the paper's Table II.
+
+CPU systems (30-core cost model): Aria, Calvin, BOHM, PWV, DBx1000
+(TicToc), Bamboo.  GPU systems (device cost model): GPUTx, GaccO.
+
+``make_engine(name, db, registry)`` builds any of them by table name.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.aria import AriaEngine
+from repro.baselines.bamboo import BambooEngine
+from repro.baselines.base import BaselineEngine, OpProfile
+from repro.baselines.bohm import BohmEngine
+from repro.baselines.calvin import CalvinEngine
+from repro.baselines.dbx1000 import Dbx1000Engine
+from repro.baselines.gacco import GaccoEngine
+from repro.baselines.gputx import GpuTxEngine
+from repro.baselines.mvstore import MultiVersionStore, VersionChain
+from repro.baselines.pwv import PwvEngine
+from repro.errors import BenchmarkError
+from repro.storage.database import Database
+from repro.txn.procedures import ProcedureRegistry
+
+#: All baseline engine classes by their table name.
+BASELINES: dict[str, type[BaselineEngine]] = {
+    AriaEngine.name: AriaEngine,
+    CalvinEngine.name: CalvinEngine,
+    BohmEngine.name: BohmEngine,
+    PwvEngine.name: PwvEngine,
+    Dbx1000Engine.name: Dbx1000Engine,
+    BambooEngine.name: BambooEngine,
+    GpuTxEngine.name: GpuTxEngine,
+    GaccoEngine.name: GaccoEngine,
+}
+
+
+def make_engine(
+    name: str, database: Database, procedures: ProcedureRegistry
+) -> BaselineEngine:
+    """Instantiate a baseline engine by name."""
+    try:
+        cls = BASELINES[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown baseline {name!r}; choose from {sorted(BASELINES)}"
+        ) from None
+    return cls(database, procedures)
+
+
+__all__ = [
+    "AriaEngine",
+    "BambooEngine",
+    "BaselineEngine",
+    "OpProfile",
+    "BohmEngine",
+    "CalvinEngine",
+    "Dbx1000Engine",
+    "GaccoEngine",
+    "GpuTxEngine",
+    "PwvEngine",
+    "MultiVersionStore",
+    "VersionChain",
+    "BASELINES",
+    "make_engine",
+]

@@ -1,0 +1,58 @@
+"""Benchmark harnesses regenerating every table and figure of the
+paper's evaluation (Section VI).
+
+Each module exposes ``run(scale=...) -> *Result`` with a ``format()``
+method printing the paper-shaped table.  ``python -m repro.bench``
+drives them from the command line; the ``benchmarks/`` directory wires
+them into pytest-benchmark.
+"""
+
+from repro.bench import (
+    ablations,
+    calibration,
+    fig6,
+    fig7,
+    fullmix,
+    sweep,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+from repro.bench.common import ltpg_config, scaled, tpcc_bench
+from repro.bench.reporting import format_table, mtps, us
+from repro.bench.runner import (
+    SteadyStateResult,
+    steady_state_baseline_run,
+    steady_state_run,
+)
+
+__all__ = [
+    "ablations",
+    "calibration",
+    "fig6",
+    "fig7",
+    "fullmix",
+    "sweep",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "ltpg_config",
+    "scaled",
+    "tpcc_bench",
+    "format_table",
+    "mtps",
+    "us",
+    "SteadyStateResult",
+    "steady_state_baseline_run",
+    "steady_state_run",
+]

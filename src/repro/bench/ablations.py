@@ -1,0 +1,164 @@
+"""Design-choice ablations beyond the paper's own tables (DESIGN.md §5).
+
+Four studies:
+
+* **warp division** — adaptive grouping by sub-transaction type vs the
+  naive thread-per-transaction mapping; reports warp divergence events
+  and the throughput delta (paper §V-B's motivation, quantified).
+* **retry delay** — re-executing aborts one vs two batches later
+  (the pipeline's §V-E trade-off) at equal, non-pipelined timing.
+* **reordering** — the deterministic commit rule with and without
+  logical reordering (Aria's rule vs plain deterministic OCC).
+* **B-tree scans** — YCSB-E through pre-resolved keys vs the ordered
+  index with phantom protection (the range-query extension's price).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.bench.common import DEFAULT_ROUNDS, ltpg_config, tpcc_bench
+from repro.bench.reporting import format_table
+from repro.bench.runner import steady_state_run
+
+
+@dataclass
+class AblationResult:
+    """label -> (mtps, commit_rate, extra metric)."""
+
+    title: str
+    metric_name: str
+    rows: dict[str, tuple[float, float, float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["variant", "throughput (M/s)", "commit rate %", self.metric_name]
+        table_rows = [
+            [label, mtps, 100 * rate, extra]
+            for label, (mtps, rate, extra) in self.rows.items()
+        ]
+        return format_table(self.title, headers, table_rows)
+
+
+def run_warp_division(
+    scale: float = 8.0, rounds: int = DEFAULT_ROUNDS, warehouses: int = 8
+) -> AblationResult:
+    """Adaptive warp grouping vs naive task parallelism."""
+    result = AblationResult(
+        "Ablation: adaptive warp division", "divergence events/batch"
+    )
+    for adaptive in (True, False):
+        bench = tpcc_bench(warehouses, neworder_pct=50, scale=scale)
+        config = dataclasses.replace(
+            ltpg_config(bench.batch_size), adaptive_warps=adaptive
+        )
+        engine = bench.engine(config)
+        r = steady_state_run(engine, bench.generator, bench.batch_size, rounds)
+        divergence = sum(
+            s.divergent_branches
+            for s in engine.device.profiler.kernel_stats
+            if s.name == "execute"
+        ) / max(1, r.run.num_batches)
+        label = "grouped (adaptive)" if adaptive else "naive (per-txn)"
+        result.rows[label] = (r.mtps, r.commit_rate, divergence)
+    return result
+
+
+def run_retry_delay(
+    scale: float = 8.0, rounds: int = DEFAULT_ROUNDS, warehouses: int = 8
+) -> AblationResult:
+    """Retry one batch later vs the pipeline's forced two."""
+    result = AblationResult(
+        "Ablation: abort retry delay", "mean batch latency (us)"
+    )
+    for delay in (1, 2):
+        bench = tpcc_bench(warehouses, neworder_pct=50, scale=scale)
+        config = dataclasses.replace(
+            ltpg_config(bench.batch_size), retry_delay_batches=delay
+        )
+        engine = bench.engine(config)
+        r = steady_state_run(
+            engine, bench.generator, bench.batch_size, max(rounds, 6)
+        )
+        result.rows[f"retry +{delay}"] = (
+            r.mtps, r.commit_rate, r.mean_latency_us
+        )
+    return result
+
+
+def run_reordering(
+    scale: float = 8.0, rounds: int = DEFAULT_ROUNDS, warehouses: int = 8
+) -> AblationResult:
+    """Aria-style logical reordering vs plain deterministic OCC."""
+    result = AblationResult(
+        "Ablation: logical reordering", "raw-abort share %"
+    )
+    for reorder in (True, False):
+        bench = tpcc_bench(warehouses, neworder_pct=50, scale=scale)
+        config = dataclasses.replace(
+            ltpg_config(bench.batch_size), logical_reordering=reorder
+        )
+        engine = bench.engine(config)
+        r = steady_state_run(engine, bench.generator, bench.batch_size, rounds)
+        raw_aborts = sum(
+            count
+            for b in r.run.batches
+            for reason, count in b.abort_reasons.items()
+            if "raw" in reason and "waw" not in reason
+        )
+        total = max(1, sum(b.aborted for b in r.run.batches))
+        label = "with reordering" if reorder else "without reordering"
+        result.rows[label] = (r.mtps, r.commit_rate, 100 * raw_aborts / total)
+    return result
+
+
+def run_all(scale: float = 8.0, rounds: int = DEFAULT_ROUNDS) -> list[AblationResult]:
+    return [
+        run_warp_division(scale=scale, rounds=rounds),
+        run_retry_delay(scale=scale, rounds=rounds),
+        run_reordering(scale=scale, rounds=rounds),
+        run_btree_scans(scale=scale, rounds=rounds),
+    ]
+
+
+@dataclass
+class _AllResults:
+    results: list[AblationResult]
+
+    def format(self) -> str:
+        return "\n\n".join(r.format() for r in self.results)
+
+
+def run(scale: float = 8.0, rounds: int = DEFAULT_ROUNDS) -> _AllResults:
+    """CLI entry point: every ablation."""
+    return _AllResults(run_all(scale=scale, rounds=rounds))
+
+
+def run_btree_scans(
+    scale: float = 8.0, rounds: int = DEFAULT_ROUNDS, records: int = 100_000
+) -> AblationResult:
+    """YCSB-E scans: pre-resolved keys (the paper's hash-only mode) vs
+    the B-tree range-query extension with phantom protection."""
+    from repro.core.config import LTPGConfig
+    from repro.core.engine import LTPGEngine
+    from repro.workloads.ycsb import build_ycsb, ycsb_delayed_columns
+
+    result = AblationResult(
+        "Ablation: YCSB-E scan access path", "commit rate of scans %"
+    )
+    batch = max(64, int(round(16_384 / scale)))
+    n = max(512, int(round(records / scale)))
+    for btree in (False, True):
+        db, registry, generator = build_ycsb(
+            n, workload="e", seed=7, btree_scans=btree
+        )
+        config = LTPGConfig(
+            batch_size=batch,
+            delayed_columns=ycsb_delayed_columns(),
+            hot_tables=frozenset({"usertable"}),
+        )
+        engine = LTPGEngine(db, registry, config)
+        r = steady_state_run(engine, generator, batch, rounds)
+        label = "B-tree range scans" if btree else "pre-resolved keys"
+        result.rows[label] = (r.mtps, r.commit_rate, 100 * r.commit_rate)
+    return result

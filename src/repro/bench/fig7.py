@@ -1,0 +1,83 @@
+"""Fig. 7: YCSB A-E throughput across batch sizes and data sizes.
+
+The paper uses a Zipfian distribution with alpha = 2.5 (extreme
+contention: ~75%% of key draws hit the hottest record), 10 operations
+per transaction, and data cardinalities 10^4..10^7.
+
+Expected shape: read-only C is fastest, scan-heavy E slowest (each scan
+op touches SCAN_LENGTH rows through the pre-resolved-key path); A/B/D
+sit between, with update-heavy A below read-heavy B.  Throughput rises
+with batch size as overheads amortize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.common import scaled
+from repro.bench.reporting import format_table
+from repro.bench.runner import steady_state_run
+from repro.core.config import LTPGConfig
+from repro.core.engine import LTPGEngine
+from repro.workloads.ycsb import build_ycsb, ycsb_delayed_columns
+
+WORKLOAD_NAMES: tuple[str, ...] = ("a", "b", "c", "d", "e")
+BATCH_SIZES: tuple[int, ...] = tuple(2**k for k in (8, 10, 12, 14, 16))
+DATA_SIZES: tuple[int, ...] = (10_000, 100_000, 1_000_000, 10_000_000)
+
+
+@dataclass
+class Fig7Result:
+    """mtps[(workload, batch_size, data_size)] (paper-label sizes)."""
+
+    mtps: dict[tuple[str, int, int], float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        blocks = []
+        data_sizes = sorted({k[2] for k in self.mtps})
+        batch_sizes = sorted({k[1] for k in self.mtps})
+        for n in data_sizes:
+            headers = ["workload"] + [f"2^{b.bit_length() - 1}" for b in batch_sizes]
+            rows = []
+            for wl in WORKLOAD_NAMES:
+                row: list[object] = [wl.upper()]
+                for b in batch_sizes:
+                    row.append(self.mtps.get((wl, b, n), float("nan")))
+                rows.append(row)
+            blocks.append(
+                format_table(
+                    f"Fig 7: YCSB throughput (10^6 TXs/s), {n:,} records",
+                    headers,
+                    rows,
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def run(
+    scale: float = 8.0,
+    rounds: int = 3,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+    batch_sizes: tuple[int, ...] = (2**10, 2**14),
+    data_sizes: tuple[int, ...] = (10_000, 1_000_000),
+    zipf_alpha: float = 2.5,
+    seed: int = 7,
+) -> Fig7Result:
+    result = Fig7Result()
+    for n in data_sizes:
+        records = scaled(n, scale, minimum=256)
+        for wl in workloads:
+            db, registry, generator = build_ycsb(
+                records, workload=wl, zipf_alpha=zipf_alpha, seed=seed
+            )
+            for batch in batch_sizes:
+                bsz = scaled(batch, scale, minimum=32)
+                config = LTPGConfig(
+                    batch_size=bsz,
+                    delayed_columns=ycsb_delayed_columns(),
+                    hot_tables=frozenset({"usertable"}),
+                )
+                engine = LTPGEngine(db, registry, config)
+                r = steady_state_run(engine, generator, bsz, rounds)
+                result.mtps[(wl, batch, n)] = r.mtps
+    return result

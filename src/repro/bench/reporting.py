@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The harnesses print the same rows/columns the paper's tables report, so
+a run's output can be diffed against the paper side by side (that
+comparison lives in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = [title, "=" * len(title)]
+    header_line = "  ".join(h.rjust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def mtps(tps: float) -> float:
+    """Transactions/s in the paper's 10^6 unit."""
+    return tps / 1e6
+
+
+def us(ns: float) -> float:
+    """Nanoseconds to microseconds."""
+    return ns / 1e3

@@ -1,0 +1,64 @@
+"""Table III: LTPG's processing capability vs batch size.
+
+Batch sizes 2^8..2^16 across the twelve {pct-NewOrder, warehouses}
+configurations.  Expected shape: throughput climbs with batch size as
+launch/sync/transfer overheads amortize, peaks near 2^14-2^16, and
+dips where per-batch contention (stock collisions at small warehouse
+counts) erodes the commit rate — e.g. the paper's 100-8 column peaks
+at 2^12-2^14 and falls at 2^16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.common import DEFAULT_ROUNDS, ltpg_config, tpcc_bench
+from repro.bench.reporting import format_table
+from repro.bench.runner import steady_state_run
+from repro.bench.table2 import CONFIGS
+
+BATCH_SIZES: tuple[int, ...] = tuple(2**k for k in (8, 10, 12, 14, 16))
+
+
+@dataclass
+class Table3Result:
+    """mtps[(batch_size, pct, warehouses)] (batch_size pre-scaling)."""
+
+    mtps: dict[tuple[int, int, int], float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["batch"] + [f"{pct}-{w}" for pct, w in CONFIGS]
+        rows = []
+        for batch in BATCH_SIZES:
+            row: list[object] = [f"2^{batch.bit_length() - 1}"]
+            for pct, w in CONFIGS:
+                row.append(self.mtps.get((batch, pct, w), float("nan")))
+            rows.append(row)
+        return format_table(
+            "Table III: LTPG throughput vs batch size (10^6 TXs/s)",
+            headers,
+            rows,
+        )
+
+
+def run(
+    scale: float = 8.0,
+    rounds: int = DEFAULT_ROUNDS,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+    configs: tuple[tuple[int, int], ...] = CONFIGS,
+    seed: int = 7,
+) -> Table3Result:
+    result = Table3Result()
+    for pct, warehouses in configs:
+        for batch in batch_sizes:
+            bench = tpcc_bench(
+                warehouses,
+                neworder_pct=pct,
+                batch_size=batch,
+                scale=scale,
+                seed=seed,
+            )
+            engine = bench.engine(ltpg_config(bench.batch_size))
+            r = steady_state_run(engine, bench.generator, bench.batch_size, rounds)
+            result.mtps[(batch, pct, warehouses)] = r.mtps
+    return result

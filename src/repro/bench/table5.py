@@ -1,0 +1,49 @@
+"""Table V: overhead of copying transaction read/write-sets back to the
+CPU, vs batch size {1024, 16384, 65536}.
+
+Expected shape: 25-30 us at 1024 growing roughly linearly to ~300 us at
+65536 (fixed DMA latency plus bytes proportional to committed work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.common import DEFAULT_ROUNDS, ltpg_config, tpcc_bench
+from repro.bench.reporting import format_table
+from repro.bench.runner import steady_state_run
+
+BATCH_SIZES: tuple[int, ...] = (1_024, 16_384, 65_536)
+
+
+@dataclass
+class Table5Result:
+    """rwset copy-back microseconds per batch size (pre-scaling size)."""
+
+    rwset_us: dict[int, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["batch size (Txns)"] + [str(b) for b in BATCH_SIZES]
+        rows = [["time cost (us)"] + [self.rwset_us.get(b, float("nan")) for b in BATCH_SIZES]]
+        return format_table(
+            "Table V: read/write-set copy-back overhead", headers, rows
+        )
+
+
+def run(
+    scale: float = 8.0,
+    rounds: int = DEFAULT_ROUNDS,
+    warehouses: int = 32,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+    seed: int = 7,
+) -> Table5Result:
+    result = Table5Result()
+    for batch in batch_sizes:
+        bench = tpcc_bench(
+            warehouses, neworder_pct=50, batch_size=batch, scale=scale, seed=seed
+        )
+        engine = bench.engine(ltpg_config(bench.batch_size))
+        r = steady_state_run(engine, bench.generator, bench.batch_size, rounds)
+        mean_rwset_ns = sum(b.rwset_ns for b in r.run.batches) / len(r.run.batches)
+        result.rwset_us[batch] = mean_rwset_ns / 1e3
+    return result

@@ -1,0 +1,111 @@
+"""Table VII: conflict-log marking/reading latency, standard bucket
+(s_u = 1) vs large bucket (s_u = 32).
+
+A synthetic microbenchmark on the simulator: T = grid x block threads
+each register a TID into a hash table of H buckets (key = thread id
+mod H); large buckets re-hash into ``TID mod s_u`` sub-slots.  Reported
+per cell: (mark+read, mark, read) microseconds for s_u = 1 and s_u = 32.
+
+Expected shape: reading is bucket-size-insensitive; marking time is
+dominated by the longest same-slot atomic chain, which large buckets cut
+by s_u — the benefit grows as the hash table shrinks (more contention).
+Absolute marking numbers exceed the paper's because the simulator
+charges a fixed per-collision penalty while real hardware coalesces
+same-address atomics in L2 (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.gpusim.atomics import collision_profile
+from repro.gpusim.device import Device
+from repro.gpusim.kernel import LaunchGeometry
+
+GEOMETRIES: tuple[tuple[int, int], ...] = ((1024, 1024), (512, 512))
+HASH_SIZES: tuple[int, ...] = (1, 32, 512)
+BUCKET_SIZES: tuple[int, ...] = (1, 32)
+
+#: instructions per thread for hashing + bookkeeping in the mark kernel
+_MARK_INSTRUCTIONS = 4
+_READ_INSTRUCTIONS = 2
+
+
+@dataclass(frozen=True)
+class Triplet:
+    total_us: float
+    mark_us: float
+    read_us: float
+
+
+@dataclass
+class Table7Result:
+    """cells[(grid, block, hash_size, bucket_size)] = Triplet"""
+
+    cells: dict[tuple[int, int, int, int], Triplet] = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["grid x block"] + [f"hash={h}" for h in HASH_SIZES]
+        rows = []
+        for grid, block in GEOMETRIES:
+            row: list[object] = [f"{grid}x{block}"]
+            for h in HASH_SIZES:
+                pair = []
+                for su in BUCKET_SIZES:
+                    t = self.cells[(grid, block, h, su)]
+                    pair.append(
+                        f"({t.total_us:,.0f},{t.mark_us:,.0f},{t.read_us:,.0f})"
+                    )
+                row.append(" ".join(pair))
+            rows.append(row)
+        return format_table(
+            "Table VII: bucket latency us — cell = (total,mark,read) for "
+            "s_u=1 then s_u=32",
+            headers,
+            rows,
+        )
+
+
+def _measure(device: Device, grid: int, block: int, hash_size: int, su: int) -> Triplet:
+    geometry = LaunchGeometry(grid=grid, block=block)
+    threads = geometry.threads
+    tids = np.arange(threads, dtype=np.int64)
+    # Consecutive warps work on consecutive data items, so a thread's
+    # key is decorrelated from its lane id — which is what makes the
+    # ``TID mod s_u`` re-hash spread a hot bucket across sub-slots.
+    keys = (tids // 32) % hash_size
+    slots = keys * su + (tids % su)
+
+    start = device.elapsed_ns()
+    with device.kernel("mark", geometry=geometry) as ctx:
+        ctx.add_instructions(_MARK_INSTRUCTIONS, per_thread=True)
+        ctx.record_atomics(*collision_profile(slots))
+    mark_ns = device.elapsed_ns() - start
+
+    start = device.elapsed_ns()
+    with device.kernel("read", geometry=geometry) as ctx:
+        ctx.add_instructions(_READ_INSTRUCTIONS, per_thread=True)
+        ctx.add_global_reads(threads)
+    read_ns = device.elapsed_ns() - start
+
+    return Triplet(
+        total_us=(mark_ns + read_ns) / 1e3,
+        mark_us=mark_ns / 1e3,
+        read_us=read_ns / 1e3,
+    )
+
+
+def run(device: Device | None = None) -> Table7Result:
+    """This table has no workload dependence; it always runs full-size."""
+    device = device or Device()
+    result = Table7Result()
+    for grid, block in GEOMETRIES:
+        for hash_size in HASH_SIZES:
+            for su in BUCKET_SIZES:
+                result.cells[(grid, block, hash_size, su)] = _measure(
+                    device, grid, block, hash_size, su
+                )
+    return result

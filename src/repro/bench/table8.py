@@ -1,0 +1,56 @@
+"""Table VIII: memory occupancy of standard vs large hash tables (%),
+for 8-64 warehouses.
+
+Expected shape: large (dynamic) buckets — allocated only for the tiny
+popular tables (warehouse, district) — occupy a fraction of a percent
+of total conflict-log memory, roughly constant in the warehouse count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.common import ltpg_config, tpcc_bench
+from repro.bench.reporting import format_table
+from repro.bench.runner import steady_state_run
+
+WAREHOUSES: tuple[int, ...] = (8, 16, 32, 64)
+
+
+@dataclass
+class Table8Result:
+    """(large_pct, standard_pct) per warehouse count."""
+
+    pct: dict[int, tuple[float, float]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["bucket size"] + [str(w) for w in WAREHOUSES]
+        large_row: list[object] = ["large"]
+        std_row: list[object] = ["standard"]
+        for w in WAREHOUSES:
+            large, standard = self.pct.get(w, (float("nan"),) * 2)
+            large_row.append(f"{large:.3f}")
+            std_row.append(f"{standard:.3f}")
+        return format_table(
+            "Table VIII: hash-table memory occupancy (%)",
+            headers,
+            [large_row, std_row],
+        )
+
+
+def run(
+    scale: float = 8.0,
+    warehouses: tuple[int, ...] = WAREHOUSES,
+    seed: int = 7,
+) -> Table8Result:
+    result = Table8Result()
+    for w in warehouses:
+        bench = tpcc_bench(w, neworder_pct=50, scale=scale, seed=seed)
+        engine = bench.engine(ltpg_config(bench.batch_size))
+        # One batch is enough: occupancy is a static property of the
+        # batch's popularity verdicts.
+        steady_state_run(engine, bench.generator, bench.batch_size, 1)
+        standard, large = engine.conflict_log.memory_report()
+        total = max(1, standard + large)
+        result.pct[w] = (100.0 * large / total, 100.0 * standard / total)
+    return result

@@ -1,0 +1,99 @@
+"""LTPG engine configuration.
+
+Every optimization the paper evaluates is an independent toggle so the
+ablation benches (Fig 6(b), Table VI) can enable them one at a time:
+
+* ``adaptive_warps``    — §V-B warp division by sub-transaction type.
+* ``dynamic_buckets``   — §V-C large hash buckets for popular tables.
+* ``logical_reordering``— §V-D Aria-style commit reordering.
+* ``split_flags``       — §V-D row-level conflict-flag splitting.
+* ``delayed_update``    — §V-D delayed commutative updates.
+* ``pipelined``         — §V-E batch-to-batch pipeline (aborts retry +2).
+* ``memory_mode``       — §V-E zero-copy vs. unified vs. auto.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import TransactionError
+
+
+class MemoryMode(enum.Enum):
+    """Where the database snapshot lives during batch processing."""
+
+    #: Resident in device global memory (fits comfortably).
+    DEVICE = "device"
+    #: Host-pinned zero-copy memory — fast exchange within GPU limits.
+    ZERO_COPY = "zero_copy"
+    #: CUDA unified memory — databases larger than device memory.
+    UNIFIED = "unified"
+    #: Pick per database size (the paper's selective adjustment).
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class LTPGConfig:
+    """Tunable knobs of the LTPG engine."""
+
+    batch_size: int = 4096
+    adaptive_warps: bool = True
+    dynamic_buckets: bool = True
+    logical_reordering: bool = True
+    split_flags: bool = True
+    delayed_update: bool = True
+    pipelined: bool = False
+    memory_mode: MemoryMode = MemoryMode.AUTO
+
+    #: Columns managed by delayed updates: {(table, column), ...}.  These
+    #: must be accessed only through ADD operations within a batch.
+    delayed_columns: frozenset[tuple[str, str]] = frozenset()
+    #: Columns that get their own conflict-flag group when split_flags is
+    #: on: {(table, column), ...}.  Delayed columns are implicitly split.
+    split_columns: frozenset[tuple[str, str]] = frozenset()
+    #: Tables the developer pre-marks as popular (§V-C); others are
+    #: detected at run time from the access-frequency rule E = T/D > 1.
+    hot_tables: frozenset[str] = frozenset()
+
+    #: The paper's *first* data-synchronization method: every N batches,
+    #: transfer the whole device snapshot back to the CPU ("a
+    #: user-defined interval for transferring data from the GPU to the
+    #: CPU").  ``None`` selects the second method only (per-batch
+    #: read/write-set shipping), which is the paper's preferred mode.
+    full_sync_interval: int | None = None
+
+    #: Bytes shipped host->device per transaction (parameters).
+    txn_param_bytes: int = 64
+    #: Extra bytes shipped device->host per transaction (conflict flags).
+    txn_flag_bytes: int = 8
+    #: How many batches later an abort retries (1, or 2 when pipelined).
+    retry_delay_batches: int = 1
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise TransactionError("batch size must be positive")
+        if self.retry_delay_batches < 1:
+            raise TransactionError("retry delay must be >= 1 batch")
+
+    @property
+    def effective_retry_delay(self) -> int:
+        """Pipelining forces aborts to wait an extra batch (§V-E)."""
+        return max(self.retry_delay_batches, 2 if self.pipelined else 1)
+
+    def all_split_columns(self) -> frozenset[tuple[str, str]]:
+        """Split groups to create: explicit splits plus delayed columns
+        (a delayed column must never share the default row flag)."""
+        return self.split_columns | self.delayed_columns
+
+    def without_optimizations(self) -> "LTPGConfig":
+        """The unenhanced baseline configuration for ablations."""
+        return replace(
+            self,
+            adaptive_warps=False,
+            dynamic_buckets=False,
+            logical_reordering=False,
+            split_flags=False,
+            delayed_update=False,
+            pipelined=False,
+        )

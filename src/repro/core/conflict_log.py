@@ -1,0 +1,214 @@
+"""The conflict log: TID registration tables with dynamic hash buckets.
+
+Functionally, the log stores — per data item ``(table, row, group)`` —
+the minimum TID that read the item and the minimum TID that wrote it
+this batch (exactly the two fields the paper keeps per bucket).  The
+conflict-detection phase compares each transaction's TID against those
+minima.
+
+For *cost*, the log also models the physical hash tables: every
+registration is an ``atomicMin`` on a bucket slot, and concurrent
+atomics on the same slot serialize.  Standard buckets have one slot
+(``s_u = 1``); popular tables (``E > 1``) get large buckets whose
+``s_u`` sub-slots are picked by ``TID mod s_u``, cutting the longest
+serialization chain by a factor of ``s_u`` (paper §V-C, Table VII).
+The split between exact minima (correctness) and modeled slots (cost)
+is deliberate: open addressing resolves distinct-key collisions, so
+bucket geometry never changes *results*, only timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hotspot import TableHeat
+from repro.core.split_flags import FlagGroups
+from repro.errors import TransactionError
+from repro.gpusim.atomics import collision_profile
+from repro.gpusim.kernel import KernelContext
+from repro.storage.database import Database
+
+#: "No TID registered" sentinel; larger than any real TID.
+NO_TID = np.iinfo(np.int64).max
+
+#: Bytes per bucket slot: min-read TID + min-write TID (paper keeps both).
+_SLOT_BYTES = 8
+
+
+class ConflictLog:
+    """Per-batch TID registration over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        flags: FlagGroups,
+        dynamic_buckets: bool = True,
+    ):
+        self._db = database
+        self._flags = flags
+        self.dynamic_buckets = dynamic_buckets
+        self._min_read = np.empty(0, dtype=np.int64)
+        self._min_write = np.empty(0, dtype=np.int64)
+        self._base = np.zeros(database.num_tables + 1, dtype=np.int64)
+        self._rows = np.zeros(database.num_tables, dtype=np.int64)
+        self._groups = np.array(
+            [flags.num_groups(t) for t in range(database.num_tables)],
+            dtype=np.int64,
+        )
+        self._touched: list[np.ndarray] = []
+        self._insert_winner: dict[tuple[int, int], int] = {}
+        self._heats: dict[int, TableHeat] = {}
+
+    # -- batch lifecycle -----------------------------------------------------
+    def begin_batch(self, heats: dict[int, TableHeat]) -> None:
+        """Size key space to current table sizes and adopt this batch's
+        popularity verdicts (bucket sizes)."""
+        self._heats = heats
+        for t in range(self._db.num_tables):
+            self._rows[t] = self._db.table_by_id(t).num_rows
+        np.cumsum(self._rows * self._groups, out=self._base[1:])
+        total = int(self._base[-1])
+        if total > self._min_read.size:
+            self._min_read = np.full(total, NO_TID, dtype=np.int64)
+            self._min_write = np.full(total, NO_TID, dtype=np.int64)
+        self._touched = []
+        self._insert_winner = {}
+
+    def end_batch(self) -> None:
+        """Reset every touched minimum back to the sentinel."""
+        if self._touched:
+            keys = np.concatenate(self._touched)
+            self._min_read[keys] = NO_TID
+            self._min_write[keys] = NO_TID
+        self._touched = []
+        self._insert_winner = {}
+
+    # -- key encoding -----------------------------------------------------------
+    def encode(self, table_ids: np.ndarray, rows: np.ndarray, groups: np.ndarray) -> np.ndarray:
+        """Global conflict key for (table, row, group) triples."""
+        return self._base[table_ids] + rows * self._groups[table_ids] + groups
+
+    def bucket_size(self, table_id: int) -> int:
+        """This batch's ``s_u`` for a table (1 when buckets are static)."""
+        if not self.dynamic_buckets:
+            return 1
+        heat = self._heats.get(table_id)
+        return heat.bucket_size if heat else 1
+
+    # -- registration (the execution-phase atomics) ------------------------------
+    def register_reads(
+        self, keys: np.ndarray, tids: np.ndarray, table_ids: np.ndarray,
+        ctx: KernelContext | None = None,
+    ) -> None:
+        self._register(self._min_read, keys, tids, table_ids, ctx)
+
+    def register_writes(
+        self, keys: np.ndarray, tids: np.ndarray, table_ids: np.ndarray,
+        ctx: KernelContext | None = None,
+    ) -> None:
+        self._register(self._min_write, keys, tids, table_ids, ctx)
+
+    def _register(
+        self,
+        minima: np.ndarray,
+        keys: np.ndarray,
+        tids: np.ndarray,
+        table_ids: np.ndarray,
+        ctx: KernelContext | None,
+    ) -> None:
+        if keys.size == 0:
+            return
+        if keys.size != tids.size or keys.size != table_ids.size:
+            raise TransactionError("registration arrays must align")
+        np.minimum.at(minima, keys, tids)
+        self._touched.append(np.unique(keys))
+        if ctx is not None:
+            total, serialized, chain = collision_profile(
+                self._slot_addresses(keys, tids, table_ids)
+            )
+            ctx.record_atomics(total, serialized, chain)
+
+    def register_inserts(
+        self,
+        table_ids: np.ndarray,
+        insert_keys: np.ndarray,
+        tids: np.ndarray,
+        ctx: KernelContext | None = None,
+    ) -> None:
+        """Reserve primary keys being inserted; the smallest TID wins
+        each key, and losers will see a WAW at detection time."""
+        if insert_keys.size == 0:
+            return
+        order = np.lexsort((tids, insert_keys, table_ids))
+        t_sorted = table_ids[order]
+        k_sorted = insert_keys[order]
+        tid_sorted = tids[order]
+        first = np.ones(order.size, dtype=bool)
+        first[1:] = (t_sorted[1:] != t_sorted[:-1]) | (k_sorted[1:] != k_sorted[:-1])
+        for t, k, tid in zip(t_sorted[first], k_sorted[first], tid_sorted[first]):
+            self._insert_winner[(int(t), int(k))] = int(tid)
+        if ctx is not None:
+            # Insert reservations hash the new key into a per-table
+            # insert region sized for the batch (the engine grows the
+            # insert hash with the batch, so distinct keys rarely
+            # collide; same-key reservations still chain).
+            hash_size = max(1024, 2 * int(insert_keys.size))
+            slots = (table_ids << 32) | (insert_keys % hash_size)
+            total, serialized, chain = collision_profile(slots)
+            ctx.record_atomics(total, serialized, chain)
+
+    def _slot_addresses(
+        self, keys: np.ndarray, tids: np.ndarray, table_ids: np.ndarray
+    ) -> np.ndarray:
+        """Physical bucket-slot address of each registration.
+
+        Standard tables: one slot per key.  Popular tables: ``s_u``
+        sub-slots per key, chosen by ``TID mod s_u`` (the paper's
+        re-hash), which shortens per-address chains by ``s_u``.
+        """
+        if not self.dynamic_buckets or not self._heats:
+            return keys * 1  # copy; one slot per key
+        sizes = np.ones(self._db.num_tables, dtype=np.int64)
+        for table_id, heat in self._heats.items():
+            sizes[table_id] = heat.bucket_size
+        s_u = sizes[table_ids]
+        # Unique slot ids: stretch each key by its table's s_u.
+        return keys * s_u.max() + (tids % s_u)
+
+    # -- detection-phase queries ------------------------------------------------
+    def min_read(self, keys: np.ndarray) -> np.ndarray:
+        return self._min_read[keys]
+
+    def min_write(self, keys: np.ndarray) -> np.ndarray:
+        return self._min_write[keys]
+
+    def insert_winner(self, table_id: int, key: int) -> int:
+        return self._insert_winner.get((table_id, key), NO_TID)
+
+    def insert_winners(
+        self, table_ids: np.ndarray, insert_keys: np.ndarray
+    ) -> np.ndarray:
+        out = np.full(table_ids.size, NO_TID, dtype=np.int64)
+        for i in range(table_ids.size):
+            out[i] = self._insert_winner.get(
+                (int(table_ids[i]), int(insert_keys[i])), NO_TID
+            )
+        return out
+
+    # -- memory accounting (Table VIII) --------------------------------------
+    def memory_report(self) -> tuple[int, int]:
+        """(standard_bytes, large_bytes) of this batch's hash tables.
+
+        Every table keeps a standard-sized region of one slot per key;
+        popular tables additionally allocate ``s_u`` slots per key.
+        """
+        standard = 0
+        large = 0
+        for t in range(self._db.num_tables):
+            keys = int(self._rows[t] * self._groups[t])
+            s_u = self.bucket_size(t)
+            if s_u > 1:
+                large += keys * s_u * _SLOT_BYTES
+            else:
+                standard += keys * _SLOT_BYTES
+        return standard, large

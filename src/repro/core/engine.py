@@ -1,0 +1,718 @@
+"""The LTPG engine: execute -> detect conflicts -> write back.
+
+One :meth:`LTPGEngine.run_batch` call processes a batch exactly as the
+paper's Algorithm 1 does:
+
+1. **execute kernel** — every transaction runs against the snapshot,
+   buffering effects in local sets and registering its TID in the
+   conflict log (``atomicMin`` per accessed item, with dynamic hash
+   buckets sizing the atomic fan-out).
+2. ``cudaDeviceSynchronize``
+3. **conflict kernel** — WAW/RAW/WAR verdicts per transaction from the
+   logged minima, then the deterministic commit rule (with optional
+   logical reordering).
+4. ``cudaDeviceSynchronize``
+5. **writeback kernel** — committed local sets install into the
+   snapshot; delayed commutative adds merge via warp prefix sums.
+
+The phases run functionally in Python/NumPy while recording hardware
+events; the simulated clock yields latency and throughput.  Aborted
+transactions keep their TIDs and are re-queued by the caller (usually a
+:class:`~repro.txn.batch.BatchScheduler`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LTPGConfig, MemoryMode
+from repro.core.conflict_log import ConflictLog
+from repro.core.delayed_update import DelayedUpdater
+from repro.core.hotspot import HotspotDetector, TableHeat
+from repro.core.memory_modes import MemoryPlan, resolve_memory_mode, transfer_latency_factor
+from repro.core.occ import ConflictFlags, abort_reason, commit_mask, logical_order
+from repro.core.split_flags import FlagGroups
+from repro.core.stats import BatchStats, RunStats
+from repro.errors import KeyNotFound, TransactionAborted, TransactionError
+from repro.gpusim.device import Device
+from repro.storage.database import Database
+from repro.storage.wal import BatchLog
+from repro.txn.batch import BatchScheduler
+from repro.txn.context import BufferedContext, LocalSets, apply_local_sets
+from repro.txn.decompose import plan
+from repro.txn.operations import OpKind
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import Transaction, TxnStatus
+
+# Per-operation hardware cost shape (events per op in the execute phase).
+_READ_GLOBAL_READS = 3       # two index-probe loads + one data load
+_WRITE_GLOBAL_WRITES = 1     # append to the local write-set
+_WRITE_GLOBAL_READS = 2      # index probe
+_INSERT_GLOBAL_WRITES = 2    # key + payload append
+_OP_INSTRUCTIONS = 8         # decode, hash, bounds checks per op
+_REGISTER_INSTRUCTIONS = 4   # conflict-log hash computation per op
+_CHECK_INSTRUCTIONS = 6      # per-op verdict in the conflict kernel
+_APPLY_INSTRUCTIONS = 4      # per-cell install in the writeback kernel
+
+
+@dataclass
+class BatchResult:
+    """Everything one batch produced."""
+
+    stats: BatchStats
+    committed: list[Transaction]
+    aborted: list[Transaction]
+    logic_aborted: list[Transaction]
+    #: (tid, read_keys, write_keys) per committed txn — lazy inputs for
+    #: the serial-order witness used in serializability tests.
+    _witness_sets: list[tuple[int, set, set]] = field(default_factory=list)
+
+    def serial_order(self) -> list[int]:
+        """TIDs of committed transactions in an equivalent serial order."""
+        return logical_order(self._witness_sets)
+
+    def explain(self, limit: int = 20) -> str:
+        """A human-readable per-transaction outcome summary (debugging
+        aid; the first ``limit`` transactions of each outcome class)."""
+        lines = [
+            f"batch {self.stats.batch_index}: {self.stats.committed} committed, "
+            f"{self.stats.aborted} aborted, {self.stats.logic_aborted} "
+            f"logic-aborted of {self.stats.num_txns}"
+        ]
+        for label, group in (
+            ("committed", self.committed),
+            ("aborted", self.aborted),
+            ("logic-aborted", self.logic_aborted),
+        ):
+            for txn in group[:limit]:
+                reason = f" [{txn.abort_reason}]" if txn.abort_reason else ""
+                lines.append(
+                    f"  {label:>13} tid={txn.tid} {txn.procedure_name}"
+                    f" attempt={txn.attempts}{reason}"
+                )
+            if len(group) > limit:
+                lines.append(f"  ... and {len(group) - limit} more {label}")
+        return "\n".join(lines)
+
+
+class LTPGEngine:
+    """Deterministic-OCC batch transaction processing on one device."""
+
+    def __init__(
+        self,
+        database: Database,
+        procedures: ProcedureRegistry,
+        config: LTPGConfig | None = None,
+        device: Device | None = None,
+    ):
+        self.database = database
+        self.procedures = procedures
+        self.config = config or LTPGConfig()
+        self.device = device or Device()
+        self.flags = FlagGroups(
+            database,
+            self.config.all_split_columns(),
+            enabled=self.config.split_flags,
+        )
+        self.delayed = DelayedUpdater(
+            database, self.config.delayed_columns, enabled=self.config.delayed_update
+        )
+        self.conflict_log = ConflictLog(
+            database, self.flags, dynamic_buckets=self.config.dynamic_buckets
+        )
+        self.hotspot = HotspotDetector(database, self.config.hot_tables)
+        self.memory_plan: MemoryPlan = resolve_memory_mode(
+            self.config, database, self.device
+        )
+        self.batch_log = BatchLog()
+        self.last_heats: dict[int, TableHeat] = {}
+        # Streams; a pipelined runner points these at distinct streams.
+        self.h2d_stream = "stream0"
+        self.compute_stream = "stream0"
+        self.d2h_stream = "stream0"
+        self._batch_counter = 0
+
+    # ------------------------------------------------------------------
+    def run_batch(self, transactions: list[Transaction]) -> BatchResult:
+        """Process one batch end to end; returns its result."""
+        if not transactions:
+            empty = BatchStats(self._batch_counter, 0, 0, 0)
+            self._batch_counter += 1
+            return BatchResult(empty, [], [], [])
+        batch_index = self._batch_counter
+        self._batch_counter += 1
+        self.batch_log.append_batch(batch_index, transactions)
+        device = self.device
+        start_ns = device.stream(self.h2d_stream).time_ns
+        lat_factor = transfer_latency_factor(self.memory_plan)
+
+        # -- host -> device: transaction parameters ---------------------
+        h2d_bytes = len(transactions) * self.config.txn_param_bytes
+        transfer_ns = device.copy(
+            int(h2d_bytes * lat_factor), "h2d", name="params", stream=self.h2d_stream
+        )
+        h2d_done = device.create_event("h2d_done")
+        device.stream(self.h2d_stream).record_event(h2d_done)
+        device.stream(self.compute_stream).wait_event(h2d_done)
+
+        # -- phase 1: execute -------------------------------------------
+        exec_data = _ExecutionData()
+        with device.kernel(
+            "execute", threads=max(1, len(transactions)), stream=self.compute_stream
+        ) as ctx:
+            self._execute_phase(transactions, exec_data, ctx)
+        exec_ns = device.profiler.entries[-1].duration_ns
+        exec_kernel_stats = ctx.stats
+        self._phase_sync()
+
+        # -- phase 2: conflict detection --------------------------------
+        with device.kernel(
+            "conflict",
+            threads=max(1, exec_data.total_ops),
+            stream=self.compute_stream,
+        ) as ctx:
+            flags = self._conflict_phase(transactions, exec_data, ctx)
+        conflict_ns = device.profiler.entries[-1].duration_ns
+        self._phase_sync()
+
+        # -- phase 3: write-back -----------------------------------------
+        committed_mask = commit_mask(flags, self.config.logical_reordering)
+        with device.kernel(
+            "writeback",
+            threads=max(1, int(committed_mask.sum())),
+            stream=self.compute_stream,
+        ) as ctx:
+            rwset_bytes = self._writeback_phase(
+                transactions, exec_data, committed_mask, ctx
+            )
+        writeback_ns = device.profiler.entries[-1].duration_ns
+        self._phase_sync()
+
+        # -- device -> host: read/write sets + conflict flags -----------
+        compute_done = device.create_event("compute_done")
+        device.stream(self.compute_stream).record_event(compute_done)
+        device.stream(self.d2h_stream).wait_event(compute_done)
+        d2h_bytes = rwset_bytes + len(transactions) * self.config.txn_flag_bytes
+        rwset_ns = device.copy(
+            int(d2h_bytes * lat_factor), "d2h", name="rwsets", stream=self.d2h_stream
+        )
+        transfer_ns += rwset_ns
+        interval = self.config.full_sync_interval
+        if interval and (batch_index + 1) % interval == 0:
+            # Synchronization method 1 (§IV): ship the whole snapshot
+            # back to the CPU on the user-defined interval.
+            transfer_ns += device.copy(
+                self.database.nbytes, "d2h", name="full_sync",
+                stream=self.d2h_stream,
+            )
+        end_ns = device.stream(self.d2h_stream).time_ns
+
+        result = self._assemble_result(
+            transactions,
+            exec_data,
+            flags,
+            committed_mask,
+            batch_index,
+            latency_ns=end_ns - start_ns,
+            transfer_ns=transfer_ns,
+            phase_ns={
+                "execute": exec_ns,
+                "conflict": conflict_ns,
+                "writeback": writeback_ns,
+            },
+        )
+        result.stats.rwset_ns = rwset_ns
+        result.stats.registered_reads = int(exec_data.read_keys.size)
+        result.stats.registered_writes = int(exec_data.write_keys.size)
+        result.stats.max_atomic_chain = exec_kernel_stats.atomic_max_chain
+        self.conflict_log.end_batch()
+        self.batch_log.record_outcome(
+            batch_index,
+            [t.tid for t in result.committed],
+            [t.tid for t in result.aborted],
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _phase_sync(self) -> None:
+        """Inter-kernel ``cudaDeviceSynchronize`` (charged to the compute
+        stream so pipelined copy streams keep flowing, as CUDA events
+        would allow)."""
+        self.device.stream(self.compute_stream).enqueue(
+            self.device.cost_model.sync_ns()
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_phase(self, transactions, data: "_ExecutionData", ctx) -> None:
+        """Run procedures, buffer effects, register TIDs."""
+        db = self.database
+        delayed = self.delayed
+        group_of = self.flags.group_of
+        proc_cache: dict[str, object] = {}
+        table_txns: Counter = Counter()
+
+        for txn in transactions:
+            txn.reset_for_execution()
+            proc = proc_cache.get(txn.procedure_name)
+            if proc is None:
+                proc = self.procedures.get(txn.procedure_name)
+                proc_cache[txn.procedure_name] = proc
+            local_ctx = BufferedContext(db)
+            try:
+                proc(local_ctx, *txn.params)
+            except (TransactionAborted, KeyNotFound):
+                # Procedure rolled back, or a client-pre-resolved key
+                # missed (e.g. Delivery naming an order whose NewOrder
+                # aborted): a deterministic logic abort either way.
+                txn.status = TxnStatus.LOGIC_ABORTED
+                txn.abort_reason = "logic"
+                txn.ops = local_ctx.ops
+                data.locals_by_tid[txn.tid] = LocalSets()
+                continue
+            txn.status = TxnStatus.EXECUTED
+            txn.ops = local_ctx.ops
+            local = local_ctx.local
+            # Deltas on delayed columns leave the local set: they are
+            # merged by the delayed updater at write-back, not by
+            # apply_local_sets.
+            delayed_locs = [
+                loc for loc in local.adds if delayed.is_delayed(loc[0], loc[2])
+            ]
+            if delayed_locs:
+                data.delayed_adds_by_txn[txn.tid] = [
+                    (t, row, col, local.adds.pop((t, row, col)))
+                    for t, row, col in delayed_locs
+                ]
+            data.locals_by_tid[txn.tid] = local
+            if local_ctx.ranges:
+                data.ranges_by_tid[txn.tid] = local_ctx.ranges
+
+        # Warp planning over the whole batch (grouped vs naive).
+        exec_plan = plan(transactions, self.config.adaptive_warps)
+        ctx.add_divergent_branches(exec_plan.divergent_branches)
+
+        # Collect op arrays + per-op costs, skipping logic aborts for
+        # registration but keeping their cost (the lanes did the work).
+        touched_rows: dict[int, set[int]] = {}
+        for idx, txn in enumerate(transactions):
+            registers = txn.status is TxnStatus.EXECUTED
+            tables_seen: set[int] = set()
+            # One reservation per (item, group) per transaction: the
+            # local set holds a single entry per item, so repeated
+            # column ops on one row register exactly once.
+            seen_reads: set[tuple[int, int, int]] = set()
+            seen_writes: set[tuple[int, int, int]] = set()
+            for op in txn.ops:
+                kind = op.kind
+                ctx.add_instructions(_OP_INSTRUCTIONS)
+                if kind == OpKind.READ:
+                    ctx.add_global_reads(_READ_GLOBAL_READS)
+                elif kind == OpKind.INSERT:
+                    ctx.add_global_writes(_INSERT_GLOBAL_WRITES)
+                else:
+                    ctx.add_global_reads(_WRITE_GLOBAL_READS)
+                    ctx.add_global_writes(_WRITE_GLOBAL_WRITES)
+                tables_seen.add(op.table_id)
+                if op.row >= 0:
+                    touched_rows.setdefault(op.table_id, set()).add(op.row)
+                if not registers:
+                    continue
+                if kind == OpKind.INSERT:
+                    data.ins_table.append(op.table_id)
+                    data.ins_key.append(op.key)
+                    data.ins_tid.append(txn.tid)
+                    data.ins_txn.append(idx)
+                    continue
+                is_delayed = delayed.is_delayed(op.table_id, op.column)
+                if kind == OpKind.ADD and is_delayed:
+                    continue  # collected from the local set above
+                if is_delayed:
+                    raise TransactionError(
+                        f"column {op.column!r} is delayed-update managed and "
+                        f"may only be accessed with ADD in a batch"
+                    )
+                if op.row < 0:
+                    # A read of the transaction's own insert: the insert
+                    # reservation already guards this key, and the row
+                    # has no slot yet to register against.
+                    continue
+                group = group_of(op.table_id, op.column)
+                entry = (op.table_id, op.row, group)
+                if kind == OpKind.READ:
+                    if entry not in seen_reads:
+                        seen_reads.add(entry)
+                        data.read_table.append(op.table_id)
+                        data.read_row.append(op.row)
+                        data.read_group.append(group)
+                        data.read_tid.append(txn.tid)
+                        data.read_txn.append(idx)
+                else:  # WRITE, or ADD treated as read-modify-write
+                    if entry not in seen_writes:
+                        seen_writes.add(entry)
+                        data.write_table.append(op.table_id)
+                        data.write_row.append(op.row)
+                        data.write_group.append(group)
+                        data.write_tid.append(txn.tid)
+                        data.write_txn.append(idx)
+                    if kind == OpKind.ADD and entry not in seen_reads:
+                        # The RMW's read half participates in RAW checks.
+                        seen_reads.add(entry)
+                        data.read_table.append(op.table_id)
+                        data.read_row.append(op.row)
+                        data.read_group.append(group)
+                        data.read_tid.append(txn.tid)
+                        data.read_txn.append(idx)
+            if registers:
+                for table_id, lo, hi in data.ranges_by_tid.get(txn.tid, ()):
+                    data.range_table.append(table_id)
+                    data.range_lo.append(lo)
+                    data.range_hi.append(hi)
+                    data.range_tid.append(txn.tid)
+                    data.range_txn.append(idx)
+                    ordered = db.table_by_id(table_id).ordered
+                    if ordered is not None:  # B-tree descent per range
+                        ctx.add_global_reads(ordered.height)
+                    tables_seen.add(table_id)
+            for table_id in tables_seen:
+                table_txns[table_id] += 1
+        data.finalize()
+
+        # Popularity verdicts drive this batch's bucket sizes.
+        self.last_heats = self.hotspot.measure(dict(table_txns))
+        self.conflict_log.begin_batch(self.last_heats)
+
+        # Unified memory: fault in the pages backing accessed rows.
+        if self.memory_plan.mode is MemoryMode.UNIFIED:
+            faults = 0
+            for table_id, rows in touched_rows.items():
+                table = db.table_by_id(table_id)
+                row_bytes = table.schema.row_bytes
+                pages = {
+                    (row * row_bytes) // self.device.config.um_page_bytes
+                    for row in rows
+                }
+                faults += self.device.memory.pages.touch(table.name, pages)
+            ctx.add_page_faults(faults)
+
+        # TID registration (the execution-phase atomics).
+        data.read_keys = self.conflict_log.encode(
+            data.read_table_arr, data.read_row_arr, data.read_group_arr
+        )
+        data.write_keys = self.conflict_log.encode(
+            data.write_table_arr, data.write_row_arr, data.write_group_arr
+        )
+        ctx.add_instructions(
+            _REGISTER_INSTRUCTIONS
+            * (data.read_keys.size + data.write_keys.size + data.ins_key_arr.size)
+        )
+        self.conflict_log.register_reads(
+            data.read_keys, data.read_tid_arr, data.read_table_arr, ctx
+        )
+        self.conflict_log.register_writes(
+            data.write_keys, data.write_tid_arr, data.write_table_arr, ctx
+        )
+        self.conflict_log.register_inserts(
+            data.ins_table_arr, data.ins_key_arr, data.ins_tid_arr, ctx
+        )
+
+    # ------------------------------------------------------------------
+    def _conflict_phase(self, transactions, data: "_ExecutionData", ctx) -> ConflictFlags:
+        """WAW/RAW/WAR verdicts per transaction."""
+        n = len(transactions)
+        log = self.conflict_log
+        waw = np.zeros(n, dtype=bool)
+        raw = np.zeros(n, dtype=bool)
+        war = np.zeros(n, dtype=bool)
+
+        if data.write_keys.size:
+            min_w = log.min_write(data.write_keys)
+            min_r = log.min_read(data.write_keys)
+            waw_ops = min_w < data.write_tid_arr
+            war_ops = min_r < data.write_tid_arr
+            waw |= np.bincount(
+                data.write_txn_arr, weights=waw_ops, minlength=n
+            ).astype(bool)
+            war |= np.bincount(
+                data.write_txn_arr, weights=war_ops, minlength=n
+            ).astype(bool)
+        if data.read_keys.size:
+            raw_ops = log.min_write(data.read_keys) < data.read_tid_arr
+            raw |= np.bincount(
+                data.read_txn_arr, weights=raw_ops, minlength=n
+            ).astype(bool)
+        if data.ins_key_arr.size:
+            winners = log.insert_winners(data.ins_table_arr, data.ins_key_arr)
+            ins_waw = winners < data.ins_tid_arr
+            waw |= np.bincount(
+                data.ins_txn_arr, weights=ins_waw, minlength=n
+            ).astype(bool)
+
+        # Phantom protection for range reads: an earlier insert
+        # reservation inside the predicate is a RAW on the predicate
+        # (the reader's snapshot scan missed a row the serial order
+        # would have shown); a *later* insert into an earlier reader's
+        # predicate is the matching WAR (reordering the reader past the
+        # inserter would un-miss it).
+        if data.range_tid_arr.size and data.ins_key_arr.size:
+            ctx.add_global_reads(2 * data.range_tid_arr.size)
+            for table_id in np.unique(data.range_table_arr):
+                ins_mask = data.ins_table_arr == table_id
+                if not ins_mask.any():
+                    continue
+                order = np.argsort(data.ins_key_arr[ins_mask], kind="stable")
+                ikeys = data.ins_key_arr[ins_mask][order]
+                itids = data.ins_tid_arr[ins_mask][order]
+                itxns = data.ins_txn_arr[ins_mask][order]
+                rng_mask = data.range_table_arr == table_id
+                for lo, hi, rtid, rtxn in zip(
+                    data.range_lo_arr[rng_mask],
+                    data.range_hi_arr[rng_mask],
+                    data.range_tid_arr[rng_mask],
+                    data.range_txn_arr[rng_mask],
+                ):
+                    a = np.searchsorted(ikeys, lo, side="left")
+                    b = np.searchsorted(ikeys, hi, side="right")
+                    if a >= b:
+                        continue
+                    window = itids[a:b]
+                    if int(window.min()) < rtid:
+                        raw[rtxn] = True
+                    later = window > rtid
+                    if later.any():
+                        war[itxns[a:b][later]] = True
+
+        # Cost: every op reads its own slot; additionally each *distinct*
+        # large bucket is swept once (all s_u sub-slots) to find the
+        # minimum — charging the sweep per op would double-count it.
+        bucket_reads = (
+            int(data.read_keys.size + data.write_keys.size)
+            + int(data.ins_key_arr.size)
+        )
+        touched = np.concatenate((data.read_keys, data.write_keys))
+        touched_tables = np.concatenate(
+            (data.read_table_arr, data.write_table_arr)
+        )
+        if touched.size:
+            uniq_keys, first = np.unique(touched, return_index=True)
+            for table_id, s_u_count in zip(
+                *np.unique(touched_tables[first], return_counts=True)
+            ):
+                s_u = log.bucket_size(int(table_id))
+                if s_u > 1:
+                    bucket_reads += int(s_u_count) * (s_u - 1)
+        ctx.add_global_reads(bucket_reads)
+        ctx.add_instructions(_CHECK_INSTRUCTIONS * max(1, data.total_ops))
+
+        # Logic aborts never commit, whatever their flags say.
+        for idx, txn in enumerate(transactions):
+            if txn.status is TxnStatus.LOGIC_ABORTED:
+                waw[idx] = True
+        return ConflictFlags(waw=waw, raw=raw, war=war)
+
+    # ------------------------------------------------------------------
+    def _writeback_phase(self, transactions, data, committed_mask, ctx) -> int:
+        """Install committed effects; returns read/write-set bytes for
+        the copy-back transfer."""
+        db = self.database
+        rwset_bytes = 0
+        cells = 0
+        delayed_deltas: list[tuple[int, int, str, int]] = []
+        written_rows: dict[int, set[int]] = {}
+        for idx, txn in enumerate(transactions):
+            local = data.locals_by_tid[txn.tid]
+            if not committed_mask[idx] or txn.status is TxnStatus.LOGIC_ABORTED:
+                continue
+            # Only committed write-sets ship back for the CPU-side
+            # snapshot merge; aborted transactions re-execute anyway.
+            # Delayed deltas are part of the shipped set too (the CPU
+            # must merge them into its primary copy).
+            rwset_bytes += local.nbytes
+            rwset_bytes += 16 * len(data.delayed_adds_by_txn.get(txn.tid, ()))
+            apply_local_sets(db, local)
+            cells += len(local.writes) + len(local.adds)
+            for _, values in local.inserts.items():
+                cells += 1 + len(values)
+            delayed_deltas.extend(data.delayed_adds_by_txn.get(txn.tid, ()))
+            if self.memory_plan.mode is MemoryMode.UNIFIED:
+                for table_id, row, _column in local.writes:
+                    written_rows.setdefault(table_id, set()).add(row)
+                for table_id, row, _column in local.adds:
+                    written_rows.setdefault(table_id, set()).add(row)
+        ctx.add_global_writes(cells)
+        ctx.add_instructions(_APPLY_INSTRUCTIONS * max(1, cells))
+        self.delayed.apply(delayed_deltas, ctx)
+        if written_rows:
+            faults = 0
+            for table_id, rows in written_rows.items():
+                table = db.table_by_id(table_id)
+                row_bytes = table.schema.row_bytes
+                pages = {
+                    (row * row_bytes) // self.device.config.um_page_bytes
+                    for row in rows
+                }
+                faults += self.device.memory.pages.touch(table.name, pages)
+            ctx.add_page_faults(faults)
+        return rwset_bytes
+
+    # ------------------------------------------------------------------
+    def _assemble_result(
+        self,
+        transactions,
+        data,
+        flags: ConflictFlags,
+        committed_mask,
+        batch_index: int,
+        latency_ns: float,
+        transfer_ns: float,
+        phase_ns: dict[str, float],
+    ) -> BatchResult:
+        committed: list[Transaction] = []
+        aborted: list[Transaction] = []
+        logic_aborted: list[Transaction] = []
+        stats = BatchStats(
+            batch_index=batch_index,
+            num_txns=len(transactions),
+            committed=0,
+            aborted=0,
+            latency_ns=latency_ns,
+            transfer_ns=transfer_ns,
+            phase_ns=phase_ns,
+        )
+        witness: list[tuple[int, set, set]] = []
+        reads_by_txn: dict[int, set] = {}
+        writes_by_txn: dict[int, set] = {}
+        for i in range(data.read_txn_arr.size):
+            reads_by_txn.setdefault(int(data.read_txn_arr[i]), set()).add(
+                int(data.read_keys[i])
+            )
+        for i in range(data.write_txn_arr.size):
+            writes_by_txn.setdefault(int(data.write_txn_arr[i]), set()).add(
+                int(data.write_keys[i])
+            )
+        for idx, txn in enumerate(transactions):
+            stats.total_by_proc[txn.procedure_name] += 1
+            if txn.status is TxnStatus.LOGIC_ABORTED:
+                logic_aborted.append(txn)
+                stats.logic_aborted += 1
+                stats.abort_reasons["logic"] += 1
+            elif committed_mask[idx]:
+                txn.status = TxnStatus.COMMITTED
+                committed.append(txn)
+                stats.committed += 1
+                stats.committed_by_proc[txn.procedure_name] += 1
+                stats.commit_attempts[txn.attempts] += 1
+                witness.append(
+                    (txn.tid, reads_by_txn.get(idx, set()), writes_by_txn.get(idx, set()))
+                )
+            else:
+                txn.status = TxnStatus.ABORTED
+                txn.abort_reason = abort_reason(
+                    bool(flags.waw[idx]), bool(flags.raw[idx]), bool(flags.war[idx])
+                )
+                aborted.append(txn)
+                stats.aborted += 1
+                stats.abort_reasons[txn.abort_reason] += 1
+        return BatchResult(
+            stats=stats,
+            committed=committed,
+            aborted=aborted,
+            logic_aborted=logic_aborted,
+            _witness_sets=witness,
+        )
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        scheduler: BatchScheduler,
+        max_batches: int | None = None,
+    ) -> RunStats:
+        """Drain a scheduler: run batches, re-queue aborts, aggregate."""
+        run = RunStats()
+        batches = 0
+        while scheduler.has_work():
+            if max_batches is not None and batches >= max_batches:
+                break
+            batch = scheduler.next_batch()
+            if not batch:
+                # Retries are delayed past the current index; spin the
+                # scheduler forward (an empty GPU slot in real time).
+                batches += 1
+                continue
+            result = self.run_batch(batch)
+            scheduler.requeue_aborted(result.aborted)
+            run.add(result.stats)
+            batches += 1
+        return run
+
+    def run_transactions(
+        self, transactions: list[Transaction], max_batches: int = 1000
+    ) -> RunStats:
+        """Convenience: admit, process to completion, aggregate."""
+        scheduler = BatchScheduler(
+            self.config.batch_size,
+            retry_delay_batches=self.config.effective_retry_delay,
+        )
+        scheduler.admit(transactions)
+        return self.process(scheduler, max_batches=max_batches)
+
+
+class _ExecutionData:
+    """Scratch arrays shared between the three phases of one batch."""
+
+    def __init__(self) -> None:
+        self.read_table: list[int] = []
+        self.read_row: list[int] = []
+        self.read_group: list[int] = []
+        self.read_tid: list[int] = []
+        self.read_txn: list[int] = []
+        self.write_table: list[int] = []
+        self.write_row: list[int] = []
+        self.write_group: list[int] = []
+        self.write_tid: list[int] = []
+        self.write_txn: list[int] = []
+        self.ins_table: list[int] = []
+        self.ins_key: list[int] = []
+        self.ins_tid: list[int] = []
+        self.ins_txn: list[int] = []
+        self.range_table: list[int] = []
+        self.range_lo: list[int] = []
+        self.range_hi: list[int] = []
+        self.range_tid: list[int] = []
+        self.range_txn: list[int] = []
+        self.locals_by_tid: dict[int, LocalSets] = {}
+        self.delayed_adds_by_txn: dict[int, list[tuple[int, int, str, int]]] = {}
+        self.ranges_by_tid: dict[int, list[tuple[int, int, int]]] = {}
+        self.read_keys = np.empty(0, dtype=np.int64)
+        self.write_keys = np.empty(0, dtype=np.int64)
+
+    def finalize(self) -> None:
+        """Freeze the Python lists into NumPy arrays."""
+        as_arr = lambda lst: np.asarray(lst, dtype=np.int64)
+        self.read_table_arr = as_arr(self.read_table)
+        self.read_row_arr = as_arr(self.read_row)
+        self.read_group_arr = as_arr(self.read_group)
+        self.read_tid_arr = as_arr(self.read_tid)
+        self.read_txn_arr = as_arr(self.read_txn)
+        self.write_table_arr = as_arr(self.write_table)
+        self.write_row_arr = as_arr(self.write_row)
+        self.write_group_arr = as_arr(self.write_group)
+        self.write_tid_arr = as_arr(self.write_tid)
+        self.write_txn_arr = as_arr(self.write_txn)
+        self.ins_table_arr = as_arr(self.ins_table)
+        self.ins_key_arr = as_arr(self.ins_key)
+        self.ins_tid_arr = as_arr(self.ins_tid)
+        self.ins_txn_arr = as_arr(self.ins_txn)
+        self.range_table_arr = as_arr(self.range_table)
+        self.range_lo_arr = as_arr(self.range_lo)
+        self.range_hi_arr = as_arr(self.range_hi)
+        self.range_tid_arr = as_arr(self.range_tid)
+        self.range_txn_arr = as_arr(self.range_txn)
+
+    @property
+    def total_ops(self) -> int:
+        return (
+            self.read_tid_arr.size + self.write_tid_arr.size + self.ins_tid_arr.size
+        )

@@ -1,0 +1,75 @@
+"""Popular-data detection and dynamic bucket sizing (paper §V-C).
+
+A table *t* is popular when its access frequency ``E = T / D`` exceeds
+one, where ``T`` is the number of transactions in the batch that access
+*t* and ``D`` is the table's row count.  Popular tables get large hash
+buckets of ``s_u = ceil(E / WS) * WS`` slots (``WS`` = warp size 32) so
+that concurrent TID registrations on one hot item spread over ``s_u``
+sub-slots instead of serializing on one.
+
+Developers may also pre-mark tables as popular; pre-marked tables use
+the measured ``E`` for sizing but are treated as hot even when the
+measurement dips to ``E <= 1`` in a quiet batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.gpusim.config import WARP_SIZE
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class TableHeat:
+    """Access-frequency verdict for one table in one batch."""
+
+    table: str
+    accessing_txns: int
+    rows: int
+    bucket_size: int
+
+    @property
+    def frequency(self) -> float:
+        """E = T / D."""
+        return self.accessing_txns / self.rows if self.rows else 0.0
+
+    @property
+    def is_hot(self) -> bool:
+        return self.bucket_size > 1
+
+
+def bucket_size_for(frequency: float, warp_size: int = WARP_SIZE) -> int:
+    """``s_u = ceil(E / WS) * WS`` when E > 1, else the standard 1."""
+    if frequency <= 1.0:
+        return 1
+    return math.ceil(frequency / warp_size) * warp_size
+
+
+class HotspotDetector:
+    """Computes per-table heat from batch access counts."""
+
+    def __init__(self, database: Database, pre_marked: frozenset[str] = frozenset()):
+        self._db = database
+        self._pre_marked = pre_marked
+
+    def measure(self, accessing_txns_by_table: dict[int, int]) -> dict[int, TableHeat]:
+        """``accessing_txns_by_table`` maps table_id -> number of distinct
+        transactions that touched the table this batch."""
+        heats: dict[int, TableHeat] = {}
+        for table_id, txns in accessing_txns_by_table.items():
+            table = self._db.table_by_id(table_id)
+            rows = max(table.num_rows, 1)
+            frequency = txns / rows
+            size = bucket_size_for(frequency)
+            if size == 1 and table.name in self._pre_marked:
+                # Pre-marked tables keep at least one warp of slots.
+                size = WARP_SIZE
+            heats[table_id] = TableHeat(
+                table=table.name,
+                accessing_txns=txns,
+                rows=rows,
+                bucket_size=size,
+            )
+        return heats

@@ -1,0 +1,99 @@
+"""Deterministic-OCC commit rules, including Aria-style logical
+reordering (paper §V-D).
+
+Conflicts are defined against the batch's TID order.  For transaction
+``T`` with read set ``R(T)`` and write set ``W(T)``:
+
+* ``waw(T)``: some earlier transaction wrote a key in ``W(T)``.
+* ``raw(T)``: some earlier transaction wrote a key in ``R(T)`` — T read
+  a snapshot value that the serial TID order would have overwritten.
+* ``war(T)``: some earlier transaction read a key in ``W(T)``.
+
+Without reordering, ``T`` commits iff ``not waw and not raw`` (WAR is
+harmless when everyone reads the batch-start snapshot and commits in
+TID order).  With logical reordering, readers may be serialized *before*
+earlier writers: ``T`` commits iff ``not waw and (not raw or not war)``
+— the exact rule Aria proves serializable, which the paper adopts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConflictFlags:
+    """Per-transaction conflict verdicts (aligned boolean arrays)."""
+
+    waw: np.ndarray
+    raw: np.ndarray
+    war: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (self.waw.shape == self.raw.shape == self.war.shape):
+            raise ValueError("conflict flag arrays must align")
+
+
+def commit_mask(flags: ConflictFlags, reorder: bool) -> np.ndarray:
+    """Which transactions commit under the chosen rule."""
+    if reorder:
+        return ~flags.waw & (~flags.raw | ~flags.war)
+    return ~flags.waw & ~flags.raw
+
+
+def abort_reason(waw: bool, raw: bool, war: bool) -> str:
+    """A human-readable reason for one aborted transaction."""
+    parts = [name for name, hit in (("waw", waw), ("raw", raw), ("war", war)) if hit]
+    return "+".join(parts) if parts else "unknown"
+
+
+def logical_order(
+    committed: list[tuple[int, set, set]],
+) -> list[int]:
+    """An equivalent serial order for one committed batch.
+
+    ``committed`` holds ``(tid, read_keys, write_keys)`` per committed
+    transaction.  Because every read saw the batch-start snapshot, any
+    committed reader of key *k* must be serialized *before* the (unique,
+    thanks to the WAW rule) committed writer of *k*.  Those
+    reader-before-writer edges are acyclic for a commit set chosen by
+    :func:`commit_mask` (a cycle would require a transaction with both
+    RAW and WAR, which the rule aborts), so a topological sort with TID
+    tiebreaks yields the deterministic serial witness that the
+    serializability tests replay.
+
+    Returns TIDs in serial order.
+    """
+    writer_of: dict[int, int] = {}
+    for tid, _, writes in committed:
+        for key in writes:
+            if key in writer_of:
+                raise ValueError(
+                    f"two committed writers for key {key}: WAW rule violated"
+                )
+            writer_of[key] = tid
+    successors: dict[int, set[int]] = {tid: set() for tid, _, _ in committed}
+    indegree: dict[int, int] = {tid: 0 for tid, _, _ in committed}
+    for tid, reads, writes in committed:
+        for key in reads:
+            writer = writer_of.get(key)
+            if writer is not None and writer != tid:
+                if writer not in successors[tid]:
+                    successors[tid].add(writer)
+                    indegree[writer] += 1
+    ready = [tid for tid, deg in indegree.items() if deg == 0]
+    heapq.heapify(ready)
+    order: list[int] = []
+    while ready:
+        tid = heapq.heappop(ready)
+        order.append(tid)
+        for nxt in successors[tid]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                heapq.heappush(ready, nxt)
+    if len(order) != len(committed):
+        raise ValueError("committed set is not serializable: cycle detected")
+    return order

@@ -1,0 +1,128 @@
+"""Per-batch and aggregate statistics reported by engines.
+
+All engines (LTPG and baselines) report :class:`BatchStats`, and the
+bench harness aggregates them into :class:`RunStats`, from which TPS,
+commit rate and latency — the paper's three metrics — are derived.
+Times are *simulated* nanoseconds from the device/CPU cost models.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BatchStats:
+    """Outcome and timing of one processed batch."""
+
+    batch_index: int
+    num_txns: int
+    committed: int
+    aborted: int
+    logic_aborted: int = 0
+    #: simulated end-to-end batch latency (params in -> results back)
+    latency_ns: float = 0.0
+    #: simulated host<->device transfer portion of the latency
+    transfer_ns: float = 0.0
+    #: the device->host read/write-set copy-back alone (Table V)
+    rwset_ns: float = 0.0
+    #: simulated time per phase, e.g. {"execute": ..., "conflict": ...,
+    #: "writeback": ...}
+    phase_ns: dict[str, float] = field(default_factory=dict)
+    #: committed counts per procedure name
+    committed_by_proc: Counter = field(default_factory=Counter)
+    #: admitted counts per procedure name
+    total_by_proc: Counter = field(default_factory=Counter)
+    #: abort reasons ("waw", "raw", "war", ...) -> count
+    abort_reasons: Counter = field(default_factory=Counter)
+    #: committed transactions by attempt number (1 = first try) — the
+    #: retry distribution behind the latency trade-off of §V-E
+    commit_attempts: Counter = field(default_factory=Counter)
+    #: conflict-log observability: registrations + longest atomic chain
+    registered_reads: int = 0
+    registered_writes: int = 0
+    max_atomic_chain: int = 0
+
+    @property
+    def commit_rate(self) -> float:
+        """Fraction of the batch that committed (logic aborts count as
+        completed work, matching the paper's commit-rate metric which
+        tracks concurrency-control success)."""
+        decided = self.committed + self.logic_aborted
+        return decided / self.num_txns if self.num_txns else 1.0
+
+    def commit_rate_of(self, procedure: str) -> float:
+        total = self.total_by_proc.get(procedure, 0)
+        if not total:
+            return 1.0
+        return self.committed_by_proc.get(procedure, 0) / total
+
+
+@dataclass
+class RunStats:
+    """Aggregate over a sequence of batches."""
+
+    batches: list[BatchStats] = field(default_factory=list)
+
+    def add(self, stats: BatchStats) -> None:
+        self.batches.append(stats)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    @property
+    def total_committed(self) -> int:
+        return sum(b.committed + b.logic_aborted for b in self.batches)
+
+    @property
+    def total_admitted(self) -> int:
+        return sum(b.num_txns for b in self.batches)
+
+    @property
+    def total_ns(self) -> float:
+        return sum(b.latency_ns for b in self.batches)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Committed transactions per simulated second."""
+        if self.total_ns <= 0:
+            return 0.0
+        return self.total_committed / (self.total_ns * 1e-9)
+
+    @property
+    def mean_latency_ns(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.total_ns / len(self.batches)
+
+    @property
+    def mean_commit_rate(self) -> float:
+        if not self.batches:
+            return 1.0
+        return sum(b.commit_rate for b in self.batches) / len(self.batches)
+
+    def phase_totals(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for b in self.batches:
+            for phase, ns in b.phase_ns.items():
+                totals[phase] = totals.get(phase, 0.0) + ns
+        return totals
+
+    def latency_percentile(self, p: float) -> float:
+        """Per-batch latency percentile in ns (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self.batches:
+            return 0.0
+        ordered = sorted(b.latency_ns for b in self.batches)
+        rank = min(len(ordered) - 1, int(round(p / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def abort_reason_totals(self) -> Counter:
+        """Aggregate abort reasons over the run."""
+        totals: Counter = Counter()
+        for b in self.batches:
+            totals.update(b.abort_reasons)
+        return totals

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid GPU-simulator operations (bad launch geometry,
+    out-of-memory allocations, use of a destroyed stream, ...)."""
+
+
+class OutOfDeviceMemory(DeviceError):
+    """Raised when an allocation exceeds the simulated device capacity."""
+
+
+class StorageError(ReproError):
+    """Raised for storage-layer misuse (unknown column, duplicate key,
+    schema mismatch, ...)."""
+
+
+class KeyNotFound(StorageError):
+    """Raised when a primary-key lookup finds no row."""
+
+
+class DuplicateKey(StorageError):
+    """Raised when inserting a primary key that already exists."""
+
+
+class TransactionError(ReproError):
+    """Raised for transaction-layer misuse (unknown procedure, operation
+    outside an active transaction, ...)."""
+
+
+class TransactionAborted(TransactionError):
+    """Raised inside a stored procedure to signal a logic-initiated abort
+    (e.g. TPC-C NewOrder's 1%% rollback)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload configuration."""
+
+
+class BenchmarkError(ReproError):
+    """Raised for invalid benchmark configuration."""

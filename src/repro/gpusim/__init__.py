@@ -1,0 +1,65 @@
+"""A SIMT GPU simulator: the hardware substrate for the LTPG reproduction.
+
+The real paper runs on an NVIDIA RTX A6000.  This package provides a
+functional + analytical stand-in: kernels execute as NumPy code while
+recording the hardware events (instructions, memory traffic, atomic
+collisions, branch divergence, page faults) that an analytical cost
+model converts into simulated time.  See DESIGN.md §2 for why this
+substitution preserves the paper's experimental shapes.
+
+Public surface:
+
+* :class:`DeviceConfig`, :class:`CpuConfig` — calibration constants.
+* :class:`Device` — streams, kernel launches, copies, synchronize.
+* :class:`AtomicArray` — CUDA-style atomics with contention accounting.
+* :class:`LaunchGeometry`, :class:`KernelContext`, :class:`KernelStats`.
+* :class:`Warp` — a genuine lock-step SIMT interpreter for fine-grained
+  correctness tests and divergence microbenches.
+"""
+
+from repro.gpusim.atomics import AtomicArray, collision_profile
+from repro.gpusim.config import WARP_SIZE, CpuConfig, DeviceConfig
+from repro.gpusim.costmodel import CostModel, KernelTiming
+from repro.gpusim.device import DEFAULT_STREAM, Device
+from repro.gpusim.interpreter import Warp, WarpStats
+from repro.gpusim.kernel import KernelContext, KernelStats, LaunchGeometry
+from repro.gpusim.memory import DeviceBuffer, MemoryManager, MemorySpace, PageTracker
+from repro.gpusim.occupancy import (
+    KernelResources,
+    OccupancyResult,
+    SmLimits,
+    effective_lanes,
+    occupancy,
+)
+from repro.gpusim.profiler import Profiler, TimelineEntry
+from repro.gpusim.stream import Event, Stream
+
+__all__ = [
+    "WARP_SIZE",
+    "AtomicArray",
+    "collision_profile",
+    "CpuConfig",
+    "DeviceConfig",
+    "CostModel",
+    "KernelTiming",
+    "DEFAULT_STREAM",
+    "Device",
+    "Warp",
+    "WarpStats",
+    "KernelContext",
+    "KernelStats",
+    "LaunchGeometry",
+    "KernelResources",
+    "OccupancyResult",
+    "SmLimits",
+    "effective_lanes",
+    "occupancy",
+    "DeviceBuffer",
+    "MemoryManager",
+    "MemorySpace",
+    "PageTracker",
+    "Profiler",
+    "TimelineEntry",
+    "Event",
+    "Stream",
+]

@@ -1,0 +1,219 @@
+"""A small lock-step SIMT interpreter.
+
+This models what actually happens inside one warp: 32 lanes execute the
+*same* instruction stream, and a data-dependent branch splits the warp
+into masked subsets that execute both paths serially (branch
+divergence).  LTPG's adaptive warp division exists to avoid exactly this
+effect, so having a real interpreter lets the tests demonstrate — not
+just assert — that grouping sub-transactions by type removes divergence.
+
+The ISA is deliberately tiny.  A *program* is a list of instruction
+tuples operating on named per-lane registers:
+
+``("const", dst, imm)``            dst <- imm
+``("mov", dst, src)``              dst <- src
+``("add"|"sub"|"mul"|"mod", dst, a, b)``  dst <- a OP b
+``("lane", dst)``                  dst <- lane id within the warp
+``("ld", dst, mem, addr)``         dst <- memory[mem][addr]
+``("st", mem, addr, src)``         memory[mem][addr] <- src
+``("atomic_min"|"atomic_add", mem, addr, src, old)``
+``("iflt", a, b)`` / ``("ifeq", a, b)``   begin masked region where a<b / a==b
+``("else",)`` / ``("endif",)``     close/flip the masked region
+``("halt",)``                      stop all lanes
+
+Warp-communication primitives (the delayed-update merge of the paper's
+Example 3 is built from these):
+
+``("shfl_up", dst, src, delta)``   dst <- src from ``delta`` lanes below
+``("prefix_sum", dst, src)``       inclusive prefix sum over active lanes
+``("reduce_add", dst, src)``       every active lane gets the warp total
+``("last_lane", dst)``             1 on the highest active lane, else 0
+
+Registers are int64; memory operands name arrays in the ``memory`` dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+from repro.gpusim.atomics import AtomicArray, collision_profile
+from repro.gpusim.config import WARP_SIZE
+
+
+@dataclass
+class WarpStats:
+    """Events observed while interpreting one warp."""
+
+    instructions_issued: int = 0
+    divergent_branches: int = 0
+    atomic_ops: int = 0
+    atomic_serialized: int = 0
+    atomic_max_chain: int = 0
+
+
+class Warp:
+    """Executes a program over ``width`` lanes in lock-step."""
+
+    _BINOPS = {
+        "add": np.add,
+        "sub": np.subtract,
+        "mul": np.multiply,
+        "mod": np.mod,
+    }
+
+    def __init__(self, width: int = WARP_SIZE):
+        if width <= 0:
+            raise DeviceError("warp width must be positive")
+        self.width = width
+
+    def run(
+        self,
+        program: list[tuple],
+        memory: dict[str, np.ndarray | AtomicArray] | None = None,
+        active: np.ndarray | None = None,
+    ) -> WarpStats:
+        """Interpret ``program`` over all lanes; returns warp statistics.
+
+        ``active`` optionally masks off lanes from the start (e.g. a
+        partially-filled trailing warp).
+        """
+        memory = memory or {}
+        regs: dict[str, np.ndarray] = {}
+        mask = (
+            np.ones(self.width, dtype=bool)
+            if active is None
+            else np.asarray(active, dtype=bool).copy()
+        )
+        if mask.shape != (self.width,):
+            raise DeviceError("active mask must have one entry per lane")
+        stats = WarpStats()
+        # Each stack frame is (mask_before_if, taken_mask); on `else` we
+        # switch execution to the complementary lanes.
+        mask_stack: list[tuple[np.ndarray, np.ndarray]] = []
+
+        def reg(name: str) -> np.ndarray:
+            if name not in regs:
+                regs[name] = np.zeros(self.width, dtype=np.int64)
+            return regs[name]
+
+        def mem(name: str) -> np.ndarray:
+            try:
+                target = memory[name]
+            except KeyError:
+                raise DeviceError(f"unknown memory operand {name!r}") from None
+            return target.data if isinstance(target, AtomicArray) else target
+
+        pc = 0
+        while pc < len(program):
+            instr = program[pc]
+            op = instr[0]
+            stats.instructions_issued += 1
+            if op == "halt":
+                break
+            if op == "const":
+                _, dst, imm = instr
+                np.copyto(reg(dst), int(imm), where=mask)
+            elif op == "mov":
+                _, dst, src = instr
+                np.copyto(reg(dst), reg(src), where=mask)
+            elif op == "lane":
+                _, dst = instr
+                np.copyto(reg(dst), np.arange(self.width, dtype=np.int64), where=mask)
+            elif op in self._BINOPS:
+                _, dst, a, b = instr
+                result = self._BINOPS[op](reg(a), reg(b))
+                np.copyto(reg(dst), result, where=mask)
+            elif op == "ld":
+                _, dst, mname, addr = instr
+                arr = mem(mname)
+                idx = reg(addr)[mask]
+                reg(dst)[mask] = arr[idx]
+            elif op == "st":
+                _, mname, addr, src = instr
+                arr = mem(mname)
+                arr[reg(addr)[mask]] = reg(src)[mask]
+            elif op in ("atomic_min", "atomic_add"):
+                _, mname, addr, src, old = instr
+                self._atomic(op, memory[mname], reg, addr, src, old, mask, stats)
+            elif op == "shfl_up":
+                _, dst, src, delta = instr
+                delta = int(delta)
+                shifted = reg(src).copy()
+                if delta > 0:
+                    shifted[delta:] = reg(src)[:-delta]
+                np.copyto(reg(dst), shifted, where=mask)
+                stats.instructions_issued += 0  # one instr, counted above
+            elif op == "prefix_sum":
+                _, dst, src = instr
+                # log2(width) shfl+add rounds on real hardware
+                stats.instructions_issued += max(self.width.bit_length() - 1, 0)
+                values = np.where(mask, reg(src), 0)
+                np.copyto(reg(dst), np.cumsum(values), where=mask)
+            elif op == "reduce_add":
+                _, dst, src = instr
+                stats.instructions_issued += max(self.width.bit_length() - 1, 0)
+                total = int(np.where(mask, reg(src), 0).sum())
+                np.copyto(reg(dst), total, where=mask)
+            elif op == "last_lane":
+                _, dst = instr
+                flags = np.zeros(self.width, dtype=np.int64)
+                active = np.flatnonzero(mask)
+                if active.size:
+                    flags[active[-1]] = 1
+                np.copyto(reg(dst), flags, where=mask)
+            elif op in ("iflt", "ifeq"):
+                _, a, b = instr
+                cond = reg(a) < reg(b) if op == "iflt" else reg(a) == reg(b)
+                taken = mask & cond
+                not_taken = mask & ~cond
+                if taken.any() and not_taken.any():
+                    stats.divergent_branches += 1
+                mask_stack.append((mask, taken))
+                mask = taken
+            elif op == "else":
+                if not mask_stack:
+                    raise DeviceError("'else' without matching 'if'")
+                before, taken = mask_stack[-1]
+                mask = before & ~taken
+            elif op == "endif":
+                if not mask_stack:
+                    raise DeviceError("'endif' without matching 'if'")
+                mask, _ = mask_stack.pop()
+            else:
+                raise DeviceError(f"unknown instruction {op!r}")
+            pc += 1
+
+        if mask_stack:
+            raise DeviceError("program ended inside an 'if' region")
+        return stats
+
+    def _atomic(
+        self,
+        op: str,
+        target: np.ndarray | AtomicArray,
+        reg,
+        addr: str,
+        src: str,
+        old: str,
+        mask: np.ndarray,
+        stats: WarpStats,
+    ) -> None:
+        arr = target.data if isinstance(target, AtomicArray) else target
+        idx = reg(addr)[mask]
+        vals = reg(src)[mask]
+        total, serialized, chain = collision_profile(np.asarray(idx))
+        stats.atomic_ops += total
+        stats.atomic_serialized += serialized
+        stats.atomic_max_chain = max(stats.atomic_max_chain, chain)
+        olds = np.empty(len(idx), dtype=np.int64)
+        for j in range(len(idx)):  # serialized, ascending-lane order
+            olds[j] = arr[idx[j]]
+            if op == "atomic_min":
+                if vals[j] < arr[idx[j]]:
+                    arr[idx[j]] = vals[j]
+            else:
+                arr[idx[j]] = arr[idx[j]] + vals[j]
+        reg(old)[mask] = olds

@@ -1,0 +1,174 @@
+"""Simulated device memory spaces and host<->device transfers.
+
+Three placement modes matter to LTPG (paper §V-E, Table IX):
+
+* **device** — ordinary global memory; accesses cost ``global_read_ns``.
+* **zero-copy** — host-pinned memory mapped into the device; kernel
+  accesses cross PCIe and cost ``zero_copy_access_factor`` times more.
+* **unified** — CUDA managed memory; accesses to non-resident pages
+  fault and migrate at ``um_page_fault_ns`` each, with an LRU resident
+  set bounded by device capacity.
+
+Buffers are NumPy arrays; the :class:`MemoryManager` tracks capacity and
+produces transfer/page-fault costs for the cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError, OutOfDeviceMemory
+from repro.gpusim.config import DeviceConfig
+
+
+class MemorySpace(enum.Enum):
+    """Where a buffer lives, which determines its access cost."""
+
+    DEVICE = "device"
+    ZERO_COPY = "zero_copy"
+    UNIFIED = "unified"
+    HOST = "host"
+
+
+@dataclass
+class DeviceBuffer:
+    """An allocation in one of the simulated memory spaces."""
+
+    name: str
+    array: np.ndarray
+    space: MemorySpace
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+
+class PageTracker:
+    """LRU resident-set model for unified memory.
+
+    Pages are identified by ``(buffer_name, page_index)``.  ``touch``
+    returns the number of faults the access incurred, after admitting the
+    pages (evicting least-recently-used pages if over capacity).
+    """
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise DeviceError("unified-memory resident set must hold >= 1 page")
+        self.capacity_pages = capacity_pages
+        self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
+        self.total_faults = 0
+
+    def touch(self, buffer_name: str, page_indices) -> int:
+        """Access the given pages; return how many faulted."""
+        faults = 0
+        for page in page_indices:
+            key = (buffer_name, int(page))
+            if key in self._resident:
+                self._resident.move_to_end(key)
+            else:
+                faults += 1
+                self._resident[key] = None
+                if len(self._resident) > self.capacity_pages:
+                    self._resident.popitem(last=False)
+        self.total_faults += faults
+        return faults
+
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    def clear(self) -> None:
+        self._resident.clear()
+
+
+class MemoryManager:
+    """Allocation and transfer accounting for one simulated device."""
+
+    def __init__(self, config: DeviceConfig):
+        self.config = config
+        self._buffers: dict[str, DeviceBuffer] = {}
+        self._device_bytes_used = 0
+        capacity_pages = max(
+            1,
+            int(
+                config.device_memory_bytes
+                * config.um_resident_fraction
+                // config.um_page_bytes
+            ),
+        )
+        self.pages = PageTracker(capacity_pages)
+
+    # -- allocation -------------------------------------------------------
+    def alloc(
+        self,
+        name: str,
+        shape,
+        dtype=np.int64,
+        space: MemorySpace = MemorySpace.DEVICE,
+        fill: int | float = 0,
+    ) -> DeviceBuffer:
+        """Allocate a named buffer in the given space."""
+        if name in self._buffers:
+            raise DeviceError(f"buffer {name!r} already allocated")
+        array = np.full(shape, fill, dtype=dtype)
+        buf = DeviceBuffer(name=name, array=array, space=space)
+        if space is MemorySpace.DEVICE:
+            if self._device_bytes_used + buf.nbytes > self.config.device_memory_bytes:
+                raise OutOfDeviceMemory(
+                    f"allocating {buf.nbytes} bytes for {name!r} exceeds "
+                    f"device capacity {self.config.device_memory_bytes}"
+                )
+            self._device_bytes_used += buf.nbytes
+        self._buffers[name] = buf
+        return buf
+
+    def free(self, name: str) -> None:
+        buf = self._buffers.pop(name, None)
+        if buf is None:
+            raise DeviceError(f"buffer {name!r} is not allocated")
+        if buf.space is MemorySpace.DEVICE:
+            self._device_bytes_used -= buf.nbytes
+
+    def get(self, name: str) -> DeviceBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise DeviceError(f"buffer {name!r} is not allocated") from None
+
+    @property
+    def device_bytes_used(self) -> int:
+        return self._device_bytes_used
+
+    @property
+    def device_bytes_free(self) -> int:
+        return self.config.device_memory_bytes - self._device_bytes_used
+
+    def fits_on_device(self, nbytes: int) -> bool:
+        """Would an allocation of ``nbytes`` fit in remaining capacity?"""
+        return nbytes <= self.device_bytes_free
+
+    # -- transfers ---------------------------------------------------------
+    def transfer_cost_ns(self, nbytes: int) -> float:
+        """Cost of one host<->device DMA of ``nbytes``."""
+        return self.config.transfer_ns(nbytes)
+
+    # -- unified memory -----------------------------------------------------
+    def unified_touch(self, buffer_name: str, byte_offsets) -> int:
+        """Record accesses at the given byte offsets of a unified buffer;
+        returns the number of page faults incurred."""
+        buf = self.get(buffer_name)
+        if buf.space is not MemorySpace.UNIFIED:
+            raise DeviceError(f"buffer {buffer_name!r} is not unified memory")
+        offsets = np.asarray(byte_offsets, dtype=np.int64)
+        pages = np.unique(offsets // self.config.um_page_bytes)
+        return self.pages.touch(buffer_name, pages)
+
+    def unified_touch_rows(
+        self, buffer_name: str, row_indices, row_bytes: int
+    ) -> int:
+        """Convenience: touch unified pages covering whole rows."""
+        rows = np.asarray(row_indices, dtype=np.int64)
+        return self.unified_touch(buffer_name, rows * row_bytes)

@@ -1,0 +1,75 @@
+"""Per-device profiler: a timeline of kernels, transfers and syncs.
+
+The bench harness reads the profiler to report phase-level breakdowns
+(e.g. Table IX's execution / conflict-detection / write-back split).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.gpusim.costmodel import KernelTiming
+from repro.gpusim.kernel import KernelStats
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One completed unit of simulated work."""
+
+    kind: str  # "kernel" | "transfer" | "sync"
+    name: str
+    stream: str
+    start_ns: float
+    duration_ns: float
+
+    @property
+    def end_ns(self) -> float:
+        return self.start_ns + self.duration_ns
+
+
+class Profiler:
+    """Accumulates timeline entries and per-kernel statistics."""
+
+    def __init__(self) -> None:
+        self.entries: list[TimelineEntry] = []
+        self.kernel_stats: list[KernelStats] = []
+        self.kernel_timings: list[KernelTiming] = []
+
+    def record(self, entry: TimelineEntry) -> None:
+        self.entries.append(entry)
+
+    def record_kernel(self, stats: KernelStats, timing: KernelTiming) -> None:
+        self.kernel_stats.append(stats)
+        self.kernel_timings.append(timing)
+
+    def reset(self) -> None:
+        self.entries.clear()
+        self.kernel_stats.clear()
+        self.kernel_timings.clear()
+
+    # -- queries ------------------------------------------------------------
+    def total_ns(self, kind: str | None = None, name_prefix: str = "") -> float:
+        """Sum of durations, optionally filtered by kind and name prefix."""
+        return sum(
+            e.duration_ns
+            for e in self.entries
+            if (kind is None or e.kind == kind) and e.name.startswith(name_prefix)
+        )
+
+    def by_kernel(self) -> dict[str, float]:
+        """Total simulated time per kernel name."""
+        totals: dict[str, float] = defaultdict(float)
+        for e in self.entries:
+            if e.kind == "kernel":
+                totals[e.name] += e.duration_ns
+        return dict(totals)
+
+    def transfer_ns(self) -> float:
+        return self.total_ns(kind="transfer")
+
+    def last_kernel_stats(self, name: str) -> KernelStats | None:
+        for stats in reversed(self.kernel_stats):
+            if stats.name == name:
+                return stats
+        return None

@@ -1,0 +1,69 @@
+"""CUDA-style streams and events for the simulator.
+
+Each stream carries an independent timeline (its "ready" timestamp in
+simulated nanoseconds).  Work enqueued on a stream starts at the
+stream's current time; ``Event``s let one stream wait on another, which
+is how the batch-to-batch pipeline (paper §V-E) overlaps the copy of
+batch *n+1* with the execution of batch *n*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+
+@dataclass
+class Event:
+    """A recorded point on a stream's timeline."""
+
+    name: str
+    timestamp_ns: float = 0.0
+    recorded: bool = False
+
+
+class Stream:
+    """An in-order queue of simulated work with its own clock."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.time_ns = 0.0
+        self.busy_ns = 0.0
+        self._destroyed = False
+
+    def _check(self) -> None:
+        if self._destroyed:
+            raise DeviceError(f"stream {self.name!r} has been destroyed")
+
+    def enqueue(self, duration_ns: float, not_before_ns: float = 0.0) -> float:
+        """Run a unit of work of ``duration_ns`` on this stream; it may
+        not start before ``not_before_ns``.  Returns the completion time.
+        """
+        self._check()
+        if duration_ns < 0:
+            raise DeviceError("work duration must be non-negative")
+        start = max(self.time_ns, not_before_ns)
+        self.time_ns = start + duration_ns
+        self.busy_ns += duration_ns
+        return self.time_ns
+
+    def record_event(self, event: Event) -> Event:
+        self._check()
+        event.timestamp_ns = self.time_ns
+        event.recorded = True
+        return event
+
+    def wait_event(self, event: Event) -> None:
+        """Stall this stream until ``event`` has completed."""
+        self._check()
+        if not event.recorded:
+            raise DeviceError(f"event {event.name!r} has not been recorded")
+        self.time_ns = max(self.time_ns, event.timestamp_ns)
+
+    def advance_to(self, time_ns: float) -> None:
+        self._check()
+        self.time_ns = max(self.time_ns, time_ns)
+
+    def destroy(self) -> None:
+        self._destroyed = True

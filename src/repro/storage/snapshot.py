@@ -1,0 +1,64 @@
+"""Database snapshots.
+
+LTPG is single-version: during a batch, the execution phase reads the
+live arrays (which *are* the batch-start snapshot, because all writes
+are buffered in local write-sets until write-back), and write-back
+installs committed writes in place.  A :class:`Snapshot` object captures
+a deep copy of the database for two purposes that need a real copy:
+
+* durability — the paper saves snapshots to disk periodically, and
+* verification — the test suite replays committed transactions serially
+  against the captured snapshot to check serializability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.database import Database
+
+
+@dataclass
+class Snapshot:
+    """An immutable-by-convention deep copy of a database state."""
+
+    database: Database
+    batch_index: int
+    digest: str
+
+    @classmethod
+    def capture(cls, database: Database, batch_index: int = 0) -> "Snapshot":
+        copied = database.copy()
+        return cls(database=copied, batch_index=batch_index, digest=copied.state_digest())
+
+    def restore(self) -> Database:
+        """A fresh mutable copy of the captured state."""
+        return self.database.copy()
+
+
+class SnapshotManager:
+    """Keeps periodic snapshots (the paper's 'saved regularly to the
+    hard drive'); in this reproduction they stay in memory."""
+
+    def __init__(self, interval_batches: int = 16, keep: int = 4):
+        self.interval_batches = max(1, interval_batches)
+        self.keep = max(1, keep)
+        self._snapshots: list[Snapshot] = []
+
+    def maybe_capture(self, database: Database, batch_index: int) -> Snapshot | None:
+        """Capture if ``batch_index`` hits the interval; returns the new
+        snapshot or None."""
+        if batch_index % self.interval_batches:
+            return None
+        snap = Snapshot.capture(database, batch_index)
+        self._snapshots.append(snap)
+        if len(self._snapshots) > self.keep:
+            self._snapshots.pop(0)
+        return snap
+
+    @property
+    def latest(self) -> Snapshot | None:
+        return self._snapshots[-1] if self._snapshots else None
+
+    def __len__(self) -> int:
+        return len(self._snapshots)

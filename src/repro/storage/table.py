@@ -1,0 +1,246 @@
+"""Column-oriented in-memory tables.
+
+Storage is structure-of-arrays (one int64 NumPy array per column), which
+is both what a GPU engine would keep in global memory and what lets the
+simulator's kernels run vectorized.  Rows are addressed by *slot*
+(insertion index); the primary index maps keys to slots.  Slots are
+never reused, so a slot is a stable item identity for conflict logging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DuplicateKey, StorageError
+from repro.storage.btree import BTreeIndex
+from repro.storage.index import PrimaryIndex, SecondaryIndex
+from repro.storage.schema import Schema
+
+#: Initial capacity for tables created without an explicit size hint.
+_DEFAULT_CAPACITY = 1024
+
+
+class Table:
+    """One table: key array + attribute columns + indexes."""
+
+    def __init__(self, schema: Schema, capacity: int = _DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise StorageError("table capacity must be positive")
+        self.schema = schema
+        self._capacity = capacity
+        self._num_rows = 0
+        self._keys = np.zeros(capacity, dtype=np.int64)
+        self._columns: dict[str, np.ndarray] = {
+            c.name: np.full(capacity, c.default, dtype=np.int64)
+            for c in schema.columns
+        }
+        self.primary = PrimaryIndex()
+        self.secondary: dict[str, SecondaryIndex] = {}
+        #: Optional B-tree over primary keys (range-query extension).
+        self.ordered: BTreeIndex | None = None
+        #: Keys below this value map to row == key (dense fast path set
+        #: up by :meth:`bulk_load`); keys at or above it use the dict.
+        self._dense_limit = 0
+
+    # -- shape ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def name(self) -> str:
+        return self.schema.table_name
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def nbytes(self) -> int:
+        """Live data footprint (populated rows only)."""
+        return self._num_rows * self.schema.row_bytes
+
+    def _grow(self, needed: int) -> None:
+        new_capacity = self._capacity
+        while new_capacity < needed:
+            new_capacity *= 2
+        self._keys = np.resize(self._keys, new_capacity)
+        self._keys[self._capacity:] = 0
+        for name, arr in self._columns.items():
+            grown = np.resize(arr, new_capacity)
+            grown[self._capacity:] = 0
+            self._columns[name] = grown
+        self._capacity = new_capacity
+
+    # -- ordered (B-tree) index ------------------------------------------------
+    def add_ordered_index(self) -> BTreeIndex:
+        """Build a B-tree over primary keys, enabling
+        :meth:`range_rows`.  Maintained automatically on insert."""
+        if self.ordered is not None:
+            raise StorageError(f"table {self.name!r} already has an ordered index")
+        index = BTreeIndex()
+        for row in range(self._num_rows):
+            index.insert(int(self._keys[row]), row)
+        self.ordered = index
+        return index
+
+    def range_rows(self, lo: int, hi: int) -> list[tuple[int, int]]:
+        """(key, row) pairs with lo <= key <= hi in key order; requires
+        an ordered index."""
+        if self.ordered is None:
+            raise StorageError(
+                f"table {self.name!r} has no ordered index; call "
+                f"add_ordered_index() to enable range queries"
+            )
+        return list(self.ordered.range(lo, hi))
+
+    # -- secondary indexes ------------------------------------------------------
+    def add_secondary_index(self, column: str) -> SecondaryIndex:
+        """Index rows by the value of ``column``; maintained on insert."""
+        if column not in self._columns:
+            raise StorageError(
+                f"cannot index {self.name!r} on unknown column {column!r}"
+            )
+        if column in self.secondary:
+            raise StorageError(f"secondary index on {column!r} already exists")
+        index = SecondaryIndex(column)
+        for row in range(self._num_rows):
+            index.insert(int(self._columns[column][row]), row)
+        self.secondary[column] = index
+        return index
+
+    # -- bulk loading ---------------------------------------------------------
+    def bulk_load(self, keys: np.ndarray, columns: dict[str, np.ndarray]) -> None:
+        """Vectorized population of an empty table.
+
+        ``keys`` must be unique; when they are exactly ``0..n-1`` the
+        primary index switches to a dense fast path (no per-key dict),
+        which is what makes 10M-row YCSB tables loadable.
+        """
+        if self._num_rows:
+            raise StorageError("bulk_load requires an empty table")
+        keys = np.asarray(keys, dtype=np.int64)
+        n = keys.size
+        if n == 0:
+            return
+        self._grow(n)
+        self._keys[:n] = keys
+        for name, values in columns.items():
+            col = self.column(name)
+            col[:n] = np.asarray(values, dtype=np.int64)
+        self._num_rows = n
+        dense = bool(keys[0] == 0 and keys[-1] == n - 1 and np.all(np.diff(keys) == 1))
+        if dense:
+            self._dense_limit = n
+        else:
+            if np.unique(keys).size != n:
+                raise DuplicateKey("bulk_load keys must be unique")
+            for row in range(n):
+                self.primary.insert(int(keys[row]), row)
+        for column, index in self.secondary.items():
+            values = self._columns[column]
+            for row in range(n):
+                index.insert(int(values[row]), row)
+        if self.ordered is not None:
+            for row in range(n):
+                self.ordered.insert(int(keys[row]), row)
+
+    # -- writes -------------------------------------------------------------
+    def insert(self, key: int, values: dict[str, int] | None = None) -> int:
+        """Insert a row; returns its slot."""
+        if self._num_rows + 1 > self._capacity:
+            self._grow(self._num_rows + 1)
+        row = self._num_rows
+        if 0 <= key < self._dense_limit:
+            raise DuplicateKey(f"primary key {key} already present")
+        self.primary.insert(int(key), row)
+        self._keys[row] = key
+        if values:
+            for name, value in values.items():
+                if name not in self._columns:
+                    raise StorageError(
+                        f"table {self.name!r} has no column {name!r}"
+                    )
+                self._columns[name][row] = value
+        self._num_rows += 1
+        for column, index in self.secondary.items():
+            index.insert(int(self._columns[column][row]), row)
+        if self.ordered is not None:
+            self.ordered.insert(int(key), row)
+        return row
+
+    def write(self, row: int, column: str, value: int) -> None:
+        self._check_row(row)
+        self.column(column)[row] = value
+
+    def add(self, row: int, column: str, delta: int) -> None:
+        self._check_row(row)
+        self.column(column)[row] += delta
+
+    # -- reads ------------------------------------------------------------------
+    def lookup(self, key: int) -> int:
+        """Primary-key lookup; raises :class:`KeyNotFound`."""
+        key = int(key)
+        if 0 <= key < self._dense_limit:
+            return key
+        return self.primary.lookup(key)
+
+    def get_row(self, key: int) -> int | None:
+        key = int(key)
+        if 0 <= key < self._dense_limit:
+            return key
+        return self.primary.get(key)
+
+    def key_of(self, row: int) -> int:
+        self._check_row(row)
+        return int(self._keys[row])
+
+    def read(self, row: int, column: str) -> int:
+        self._check_row(row)
+        return int(self.column(column)[row])
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def read_many(self, rows, column: str) -> np.ndarray:
+        """Vectorized gather of one column at many row slots."""
+        return self.column(column)[np.asarray(rows, dtype=np.int64)]
+
+    def keys_array(self) -> np.ndarray:
+        return self._keys[: self._num_rows]
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._num_rows:
+            raise StorageError(
+                f"row {row} out of range for table {self.name!r} "
+                f"({self._num_rows} rows)"
+            )
+
+    # -- copying ------------------------------------------------------------
+    def copy(self) -> "Table":
+        """Deep copy (used for snapshots and serializability replay)."""
+        clone = Table(self.schema, capacity=max(self._capacity, 1))
+        clone._num_rows = self._num_rows
+        clone._keys = self._keys.copy()
+        clone._columns = {n: a.copy() for n, a in self._columns.items()}
+        clone.primary = self.primary.copy()
+        clone.secondary = {n: ix.copy() for n, ix in self.secondary.items()}
+        clone.ordered = self.ordered.copy() if self.ordered is not None else None
+        clone._dense_limit = self._dense_limit
+        return clone
+
+    def state_signature(self) -> bytes:
+        """A canonical byte representation of live data (rows ordered by
+        key), for equality checks in determinism and serializability
+        tests.  Canonical ordering matters: two logically identical
+        states may have inserted rows in different physical slots."""
+        keys = self._keys[: self._num_rows]
+        order = np.argsort(keys, kind="stable")
+        parts = [keys[order].tobytes()]
+        for name in sorted(self._columns):
+            parts.append(self._columns[name][: self._num_rows][order].tobytes())
+        return b"".join(parts)

@@ -1,0 +1,38 @@
+"""Transaction layer: operations, contexts, procedures, batching,
+sub-transaction decomposition.
+
+Shared by LTPG and every baseline so that engine comparisons isolate
+the concurrency-control protocol.
+"""
+
+from repro.txn.batch import BatchScheduler
+from repro.txn.context import (
+    BufferedContext,
+    LocalSets,
+    apply_local_sets,
+    execute_buffered,
+)
+from repro.txn.decompose import ExecutionPlan, plan, plan_grouped, plan_naive
+from repro.txn.operations import NUM_OP_KINDS, OpKind, OpRecord
+from repro.txn.procedures import Procedure, ProcedureRegistry
+from repro.txn.transaction import Transaction, TxnStatus, assign_tids
+
+__all__ = [
+    "BatchScheduler",
+    "BufferedContext",
+    "LocalSets",
+    "apply_local_sets",
+    "execute_buffered",
+    "ExecutionPlan",
+    "plan",
+    "plan_grouped",
+    "plan_naive",
+    "NUM_OP_KINDS",
+    "OpKind",
+    "OpRecord",
+    "Procedure",
+    "ProcedureRegistry",
+    "Transaction",
+    "TxnStatus",
+    "assign_tids",
+]

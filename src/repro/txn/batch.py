@@ -1,0 +1,100 @@
+"""Batch formation and abort re-scheduling.
+
+The scheduler admits client transactions, forms fixed-size batches,
+assigns TIDs on first admission (kept across re-executions), and
+re-queues concurrency-control aborts:
+
+* normally into the *next* batch,
+* under the batch-to-batch pipeline (paper §V-E) into the batch *two*
+  slots later, because batch *n+1*'s inputs are already in flight to the
+  GPU while batch *n* executes.
+
+Aborted transactions carry their original (smaller) TIDs, so on retry
+they outrank the newer transactions in conflict detection — the
+starvation-freedom argument the paper inherits from Aria.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import TransactionError
+from repro.txn.transaction import Transaction, assign_tids
+
+
+class BatchScheduler:
+    """Forms batches from new arrivals plus retry traffic."""
+
+    def __init__(self, batch_size: int, retry_delay_batches: int = 1):
+        if batch_size <= 0:
+            raise TransactionError("batch size must be positive")
+        if retry_delay_batches < 1:
+            raise TransactionError("retry delay must be at least one batch")
+        self.batch_size = batch_size
+        self.retry_delay_batches = retry_delay_batches
+        self._pending: deque[Transaction] = deque()
+        #: retries that are eligible now, kept sorted by TID at pop time
+        self._retries: list[Transaction] = []
+        #: batch_index -> retries that become eligible at that index
+        self._delayed: dict[int, list[Transaction]] = {}
+        self._next_tid = 0
+        self.batch_index = 0
+
+    # -- intake -----------------------------------------------------------
+    def admit(self, transactions) -> None:
+        """Queue newly arrived transactions."""
+        self._pending.extend(transactions)
+
+    def requeue_aborted(self, transactions) -> None:
+        """Schedule concurrency-control aborts for re-execution.
+
+        Called after the failing batch ran, i.e. ``batch_index`` has
+        already advanced past it; a delay of one means "the very next
+        batch formed from now".
+        """
+        eligible_at = self.batch_index + self.retry_delay_batches - 1
+        for txn in transactions:
+            if txn.tid < 0:
+                raise TransactionError("aborted transaction was never admitted")
+            self._delayed.setdefault(eligible_at, []).append(txn)
+
+    # -- batch formation ------------------------------------------------------
+    def next_batch(self) -> list[Transaction]:
+        """Form the next batch: eligible retries first (TID order), then
+        new arrivals, up to ``batch_size``.  Assigns fresh TIDs to the
+        new arrivals and advances the batch index."""
+        newly_eligible = self._delayed.pop(self.batch_index, [])
+        self._retries.extend(newly_eligible)
+        self._retries.sort(key=lambda t: t.tid)
+
+        batch: list[Transaction] = []
+        take = min(len(self._retries), self.batch_size)
+        batch.extend(self._retries[:take])
+        del self._retries[:take]
+        while len(batch) < self.batch_size and self._pending:
+            batch.append(self._pending.popleft())
+
+        self._next_tid = assign_tids(batch, self._next_tid)
+        self.batch_index += 1
+        return batch
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def backlog(self) -> int:
+        """Transactions admitted or retried but not yet batched."""
+        delayed = sum(len(v) for v in self._delayed.values())
+        return len(self._pending) + len(self._retries) + delayed
+
+    @property
+    def eligible_backlog(self) -> int:
+        """Transactions that can join the *next* batch — excludes
+        retries still serving their pipeline delay.  Steady-state
+        drivers use this to decide how much fresh load to admit."""
+        return (
+            len(self._pending)
+            + len(self._retries)
+            + len(self._delayed.get(self.batch_index, ()))
+        )
+
+    def has_work(self) -> bool:
+        return self.backlog > 0

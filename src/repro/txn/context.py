@@ -1,0 +1,221 @@
+"""Execution contexts for stored procedures.
+
+Every engine in this reproduction executes procedures *optimistically
+buffered*: reads hit the database snapshot (overlaid with the
+transaction's own writes), while writes, adds and inserts accumulate in
+local sets.  The engine then decides commit order and calls
+:func:`apply_local_sets` for the winners.  This matches LTPG's
+execution phase ("all operations are conducted using the local read and
+write sets, thus avoiding data updates before write-back") and gives the
+deterministic baselines a common, undo-free substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.storage.database import Database
+from repro.txn.operations import OpKind, OpRecord
+
+
+@dataclass
+class LocalSets:
+    """A transaction's buffered effects."""
+
+    #: (table_id, row, column) -> last written value
+    writes: dict[tuple[int, int, str], int] = field(default_factory=dict)
+    #: (table_id, row, column) -> accumulated delta
+    adds: dict[tuple[int, int, str], int] = field(default_factory=dict)
+    #: (table_id, key) -> column values
+    inserts: dict[tuple[int, int], dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes to ship this set back to the CPU for snapshot
+        merging (key + value per updated cell, packed rows for inserts)
+        — the quantity behind Table V's copy-back cost."""
+        cells = len(self.writes) + len(self.adds)
+        insert_bytes = sum(8 + 4 * len(v) for v in self.inserts.values())
+        return 8 * cells + insert_bytes
+
+
+class BufferedContext:
+    """The context handed to stored procedures.
+
+    Records every operation as an :class:`OpRecord` (the conflict log's
+    input) and maintains read-your-own-writes semantics.
+    """
+
+    def __init__(self, database: Database):
+        self._db = database
+        self.ops: list[OpRecord] = []
+        self.local = LocalSets()
+        #: (table_id, lo, hi) predicates from range reads — consumed by
+        #: the engine's phantom detection (range-query extension).
+        self.ranges: list[tuple[int, int, int]] = []
+
+    # -- reads -------------------------------------------------------------
+    def read(self, table: str, key: int, column: str) -> int:
+        """Read ``column`` of the row with primary key ``key``.
+
+        Sees the transaction's own uncommitted inserts (read-your-own-
+        writes extends to new rows)."""
+        table_id = self._db.table_id(table)
+        own = self.local.inserts.get((table_id, int(key)))
+        if own is not None:
+            t = self._db.table_by_id(table_id)
+            default = dict(
+                (c.name, c.default) for c in t.schema.columns
+            ).get(column)
+            if column not in t.schema.column_names:
+                raise TransactionError(
+                    f"table {table!r} has no column {column!r}"
+                )
+            value = own.get(column, default)
+            self.ops.append(
+                OpRecord(OpKind.READ, table_id, -1, column, int(value), key=int(key))
+            )
+            return int(value)
+        t = self._db.table_by_id(table_id)
+        row = t.lookup(key)
+        return self._read_slot(table_id, row, column)
+
+    def read_at(self, table: str, row: int, column: str) -> int:
+        """Read by row slot (for rows found via a secondary index)."""
+        return self._read_slot(self._db.table_id(table), row, column)
+
+    def _read_slot(self, table_id: int, row: int, column: str) -> int:
+        loc = (table_id, row, column)
+        t = self._db.table_by_id(table_id)
+        value = self.local.writes.get(loc)
+        if value is None:
+            value = t.read(row, column)
+        value += self.local.adds.get(loc, 0)
+        self.ops.append(OpRecord(OpKind.READ, table_id, row, column, value))
+        return value
+
+    def key_at(self, table: str, row: int) -> int:
+        """Read a row's primary key (counts as a read of the row)."""
+        table_id = self._db.table_id(table)
+        t = self._db.table_by_id(table_id)
+        key = t.key_of(row)
+        self.ops.append(OpRecord(OpKind.READ, table_id, row, "__key__", key))
+        return key
+
+    def last_row_by_secondary(self, table: str, index: str, skey: int) -> int:
+        """Most recent row slot under a secondary index key.
+
+        Only sees rows that existed at batch start (hash indexes are
+        rebuilt at write-back), which is the paper's pre-resolved-key
+        semantics for range-style lookups.
+        """
+        t = self._db.table(table)
+        try:
+            sec = t.secondary[index]
+        except KeyError:
+            raise TransactionError(
+                f"table {table!r} has no secondary index {index!r}"
+            ) from None
+        return sec.last(skey)
+
+    def range_read(
+        self, table: str, lo: int, hi: int, column: str, limit: int | None = None
+    ) -> list[int]:
+        """Read ``column`` of every row with ``lo <= key <= hi`` through
+        the table's B-tree (the range-query extension; the table needs
+        :meth:`~repro.storage.table.Table.add_ordered_index`).
+
+        The predicate itself is recorded so the engine can abort this
+        transaction if an earlier-TID transaction *inserts* into the
+        range (phantom protection).
+        """
+        table_id = self._db.table_id(table)
+        t = self._db.table_by_id(table_id)
+        pairs = t.range_rows(lo, hi)
+        if limit is not None:
+            pairs = pairs[:limit]
+        self.ranges.append((table_id, int(lo), int(hi)))
+        return [self._read_slot(table_id, row, column) for _, row in pairs]
+
+    def rows_by_secondary(self, table: str, index: str, skey: int) -> list[int]:
+        t = self._db.table(table)
+        try:
+            sec = t.secondary[index]
+        except KeyError:
+            raise TransactionError(
+                f"table {table!r} has no secondary index {index!r}"
+            ) from None
+        return sec.lookup(skey)
+
+    # -- writes -------------------------------------------------------------
+    def write(self, table: str, key: int, column: str, value: int) -> None:
+        table_id = self._db.table_id(table)
+        t = self._db.table_by_id(table_id)
+        row = t.lookup(key)
+        self.write_at(table, row, column, value)
+
+    def write_at(self, table: str, row: int, column: str, value: int) -> None:
+        table_id = self._db.table_id(table)
+        loc = (table_id, row, column)
+        self.local.writes[loc] = int(value)
+        self.local.adds.pop(loc, None)  # write overrides pending adds
+        self.ops.append(OpRecord(OpKind.WRITE, table_id, row, column, int(value)))
+
+    def add(self, table: str, key: int, column: str, delta: int) -> None:
+        """Commutative ``column += delta`` (delayed-update eligible)."""
+        table_id = self._db.table_id(table)
+        t = self._db.table_by_id(table_id)
+        row = t.lookup(key)
+        loc = (table_id, row, column)
+        self.local.adds[loc] = self.local.adds.get(loc, 0) + int(delta)
+        self.ops.append(OpRecord(OpKind.ADD, table_id, row, column, int(delta)))
+
+    def insert(self, table: str, key: int, values: dict[str, int]) -> None:
+        table_id = self._db.table_id(table)
+        if self._db.table_by_id(table_id).get_row(int(key)) is not None:
+            # Unique violation against the snapshot: deterministic
+            # logic-level rollback (not a concurrency-control abort).
+            raise TransactionAborted(f"duplicate key {key} in {table!r}")
+        ikey = (table_id, int(key))
+        if ikey in self.local.inserts:
+            raise TransactionError(
+                f"transaction inserts key {key} into {table!r} twice"
+            )
+        self.local.inserts[ikey] = {c: int(v) for c, v in values.items()}
+        self.ops.append(
+            OpRecord(OpKind.INSERT, table_id, -1, "", 0, key=int(key))
+        )
+
+    # -- control -------------------------------------------------------------
+    def abort(self, reason: str = "user abort") -> None:
+        """Logic-initiated rollback (e.g. TPC-C's 1% NewOrder abort)."""
+        raise TransactionAborted(reason)
+
+
+def apply_local_sets(database: Database, local: LocalSets) -> None:
+    """Install one committed transaction's buffered effects.
+
+    Insert keys that already exist are ignored (the conflict-detection
+    phase is responsible for ensuring a unique winner; replay helpers
+    reuse this function after the winner has been picked).
+    """
+    for (table_id, row, column), value in local.writes.items():
+        database.table_by_id(table_id).write(row, column, value)
+    for (table_id, row, column), delta in local.adds.items():
+        database.table_by_id(table_id).add(row, column, delta)
+    for (table_id, key), values in local.inserts.items():
+        table = database.table_by_id(table_id)
+        if table.get_row(key) is None:
+            table.insert(key, values)
+
+
+def execute_buffered(database: Database, procedure, params: tuple) -> BufferedContext:
+    """Run a procedure against a fresh buffered context.
+
+    Returns the context; raises :class:`TransactionAborted` if the
+    procedure rolled itself back (caller decides how to record that).
+    """
+    ctx = BufferedContext(database)
+    procedure(ctx, *params)
+    return ctx

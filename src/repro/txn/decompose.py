@@ -1,0 +1,111 @@
+"""Transaction decomposition and adaptive warp division (paper §V-B).
+
+LTPG splits each transaction into fine-grained sub-transactions (its
+individual operations) and groups sub-transactions of the same type —
+same :class:`~repro.txn.operations.OpKind` on the same table — into
+dedicated warps, so all 32 lanes of a warp execute identical
+instructions.  The alternative ("naive" task parallelism, one thread
+per transaction) makes lanes of one warp walk different instruction
+streams and diverge at every mismatched step.
+
+:func:`plan_grouped` and :func:`plan_naive` compute both assignments
+over the same executed batch and report warp counts, lane utilization
+and divergence events; the engine feeds those numbers to the simulator.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.gpusim.config import WARP_SIZE
+from repro.txn.operations import OpKind
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The shape of one phase's warp assignment."""
+
+    mode: str  # "grouped" | "naive"
+    total_ops: int
+    warps: int
+    #: Lanes that carry an op, divided by lanes launched.
+    utilization: float
+    #: Warp-level divergence events (branch splits both-paths-executed).
+    divergent_branches: int
+    #: ops per (kind, table_id) group — the warp classes.
+    group_sizes: dict[tuple[int, int], int]
+
+    @property
+    def threads(self) -> int:
+        return self.warps * WARP_SIZE
+
+
+def _ops_by_group(transactions: list[Transaction]) -> dict[tuple[int, int], int]:
+    groups: dict[tuple[int, int], int] = defaultdict(int)
+    for txn in transactions:
+        for op in txn.ops:
+            groups[(int(op.kind), op.table_id)] += 1
+    return dict(groups)
+
+
+def plan_grouped(transactions: list[Transaction]) -> ExecutionPlan:
+    """Adaptive warp division: one warp class per (op kind, table).
+
+    Within a class every lane runs the same instruction stream, so the
+    only waste is the partially-filled trailing warp of each class; no
+    divergence occurs.
+    """
+    groups = _ops_by_group(transactions)
+    total_ops = sum(groups.values())
+    warps = sum(-(-count // WARP_SIZE) for count in groups.values())
+    lanes = warps * WARP_SIZE
+    return ExecutionPlan(
+        mode="grouped",
+        total_ops=total_ops,
+        warps=warps,
+        utilization=total_ops / lanes if lanes else 1.0,
+        divergent_branches=0,
+        group_sizes=groups,
+    )
+
+
+def plan_naive(transactions: list[Transaction]) -> ExecutionPlan:
+    """Task parallelism: thread *i* executes transaction *i* start to
+    finish; 32 consecutive transactions share a warp.
+
+    At each step, the warp must serially execute one masked pass per
+    distinct op class present among its active lanes — every extra class
+    is a divergence event.
+    """
+    groups = _ops_by_group(transactions)
+    total_ops = sum(groups.values())
+    warps = -(-len(transactions) // WARP_SIZE) if transactions else 0
+    divergence = 0
+    lane_steps = 0
+    for w in range(warps):
+        members = transactions[w * WARP_SIZE : (w + 1) * WARP_SIZE]
+        depth = max((len(t.ops) for t in members), default=0)
+        lane_steps += depth * WARP_SIZE
+        for step in range(depth):
+            classes = {
+                (int(t.ops[step].kind), t.ops[step].table_id)
+                for t in members
+                if step < len(t.ops)
+            }
+            if len(classes) > 1:
+                divergence += len(classes) - 1
+    return ExecutionPlan(
+        mode="naive",
+        total_ops=total_ops,
+        warps=warps,
+        utilization=total_ops / lane_steps if lane_steps else 1.0,
+        divergent_branches=divergence,
+        group_sizes=groups,
+    )
+
+
+def plan(transactions: list[Transaction], grouped: bool) -> ExecutionPlan:
+    """Dispatch on the adaptive-warp-division toggle."""
+    return plan_grouped(transactions) if grouped else plan_naive(transactions)

@@ -1,0 +1,52 @@
+"""Operation records: the uniform language between stored procedures and
+concurrency-control engines.
+
+A stored procedure executes against a context (:mod:`repro.txn.context`)
+and leaves behind a stream of :class:`OpRecord` — reads, full-value
+writes, commutative adds, and inserts.  Every engine in this repo (LTPG
+and all baselines) consumes the same records, which is what makes the
+cross-system benchmarks apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class OpKind(enum.IntEnum):
+    """The four operation types LTPG decomposes transactions into.
+
+    ``ADD`` is a commutative read-modify-write (``col += delta``); it is
+    the operation class eligible for the paper's delayed-update strategy.
+    """
+
+    READ = 0
+    WRITE = 1
+    ADD = 2
+    INSERT = 3
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One executed operation.
+
+    ``row`` is the table row slot for READ/WRITE/ADD; for INSERT it is
+    ``-1`` and ``key`` carries the new primary key.  ``value`` is the
+    value read, the value written, or the delta added.
+    """
+
+    kind: OpKind
+    table_id: int
+    row: int
+    column: str
+    value: int
+    key: int = 0
+
+    def item(self) -> tuple[int, int]:
+        """The data-item identity used for row-level conflict detection."""
+        return (self.table_id, self.row)
+
+
+#: Number of distinct op kinds (used to size per-type warp queues).
+NUM_OP_KINDS = len(OpKind)

@@ -1,0 +1,58 @@
+"""Stored-procedure registry.
+
+The paper implements transactions as "pre-compiled, stored procedures
+using CUDA C++".  Here a procedure is a Python callable
+``proc(ctx, *params)`` registered under a name; engines look procedures
+up by the name carried on each :class:`~repro.txn.transaction.Transaction`.
+
+Procedures must be deterministic functions of ``(database state,
+params)`` — no randomness, no wall-clock — or batch determinism breaks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import TransactionError
+
+Procedure = Callable[..., None]
+
+
+class ProcedureRegistry:
+    """Named stored procedures for one workload."""
+
+    def __init__(self) -> None:
+        self._procs: dict[str, Procedure] = {}
+
+    def register(self, name: str, procedure: Procedure | None = None):
+        """Register a procedure; usable directly or as a decorator::
+
+            @registry.register("payment")
+            def payment(ctx, w_id, d_id, c_id, amount): ...
+        """
+        if procedure is not None:
+            self._store(name, procedure)
+            return procedure
+
+        def decorator(fn: Procedure) -> Procedure:
+            self._store(name, fn)
+            return fn
+
+        return decorator
+
+    def _store(self, name: str, procedure: Procedure) -> None:
+        if name in self._procs:
+            raise TransactionError(f"procedure {name!r} already registered")
+        self._procs[name] = procedure
+
+    def get(self, name: str) -> Procedure:
+        try:
+            return self._procs[name]
+        except KeyError:
+            raise TransactionError(f"unknown procedure {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procs
+
+    def names(self) -> list[str]:
+        return sorted(self._procs)

@@ -1,0 +1,68 @@
+"""Transactions and their lifecycle.
+
+A transaction is a named stored procedure plus integer parameters plus a
+TID.  TIDs are assigned once, on first admission to a batch, and are
+*preserved across re-executions* — the paper relies on this for
+determinism ("If re-execution is necessary, the system pulls the
+transactions from the log, while preserving their original TIDs").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.txn.operations import OpRecord
+
+
+class TxnStatus(enum.Enum):
+    PENDING = "pending"
+    EXECUTED = "executed"
+    COMMITTED = "committed"
+    ABORTED = "aborted"  # concurrency-control abort: will be re-executed
+    LOGIC_ABORTED = "logic_aborted"  # procedure rolled itself back: final
+
+
+@dataclass
+class Transaction:
+    """One transaction instance flowing through an engine."""
+
+    procedure_name: str
+    params: tuple
+    tid: int = -1
+    status: TxnStatus = TxnStatus.PENDING
+    #: How many batches this transaction has been through (1 = first try).
+    attempts: int = 0
+    #: Operation stream from the most recent execution.
+    ops: list[OpRecord] = field(default_factory=list)
+    #: Why the last conflict-detection pass aborted it (for diagnostics):
+    #: one of "", "waw", "raw", "war", "raw+war", "logic".
+    abort_reason: str = ""
+
+    def reset_for_execution(self) -> None:
+        """Clear per-attempt state before (re-)executing."""
+        self.ops = []
+        self.status = TxnStatus.PENDING
+        self.abort_reason = ""
+        self.attempts += 1
+
+    @property
+    def is_final(self) -> bool:
+        return self.status in (TxnStatus.COMMITTED, TxnStatus.LOGIC_ABORTED)
+
+    def __repr__(self) -> str:  # compact, for test failure messages
+        return (
+            f"Txn(tid={self.tid}, {self.procedure_name}, "
+            f"{self.status.value}, attempts={self.attempts})"
+        )
+
+
+def assign_tids(transactions: list[Transaction], start: int) -> int:
+    """Assign consecutive TIDs to transactions that lack one; returns the
+    next unused TID.  Already-assigned TIDs (re-executions) are kept."""
+    next_tid = start
+    for txn in transactions:
+        if txn.tid < 0:
+            txn.tid = next_tid
+            next_tid += 1
+    return next_tid

@@ -1,0 +1,100 @@
+"""TPC-C schema, adapted as the paper does.
+
+All attributes are integers ("CUDA does not support strings"), composite
+primary keys are flattened into one int64, and order/history keys are
+pre-assigned by the client so that hash indexes suffice (the paper:
+"we can only predefine the primary key values of query items").
+
+Key encodings (all zero-based internally):
+
+* warehouse  : ``w``
+* district   : ``w * 10 + d``
+* customer   : ``(w * 10 + d) * CUSTOMERS_PER_DISTRICT + c``
+* item       : ``i``
+* stock      : ``w * num_items + i``
+* orders     : the generator's unique order id (monotonic counter)
+* new_order  : same order id
+* order_line : ``order_id * MAX_ORDER_LINES + line``
+* history    : the transaction's unique history id
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.schema import Schema, make_schema
+
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 3000
+DEFAULT_NUM_ITEMS = 100_000
+MAX_ORDER_LINES = 16
+
+WAREHOUSE = make_schema("warehouse", "w_id", "w_tax", "w_ytd")
+DISTRICT = make_schema("district", "d_id", "d_tax", "d_ytd", "d_next_o_id")
+CUSTOMER = make_schema(
+    "customer",
+    "c_id",
+    "c_discount",
+    "c_balance",
+    "c_ytd_payment",
+    "c_payment_cnt",
+    "c_delivery_cnt",
+)
+ITEM = make_schema("item", "i_id", "i_price", "i_im_id")
+STOCK = make_schema(
+    "stock", "s_id", "s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt"
+)
+ORDERS = make_schema(
+    "orders", "o_id", "o_c_key", "o_d_key", "o_entry_d", "o_carrier_id", "o_ol_cnt"
+)
+NEW_ORDER = make_schema("new_order", "no_o_id", "no_d_key")
+ORDER_LINE = make_schema(
+    "order_line", "ol_id", "ol_o_id", "ol_i_id", "ol_quantity", "ol_amount"
+)
+HISTORY = make_schema("history", "h_id", "h_c_key", "h_d_key", "h_amount")
+
+ALL_SCHEMAS: tuple[Schema, ...] = (
+    WAREHOUSE,
+    DISTRICT,
+    CUSTOMER,
+    ITEM,
+    STOCK,
+    ORDERS,
+    NEW_ORDER,
+    ORDER_LINE,
+    HISTORY,
+)
+
+
+@dataclass(frozen=True)
+class TpccScale:
+    """Sizing of one TPC-C database instance.
+
+    ``num_items`` scales the item/stock tables; benches shrink it
+    together with the batch size to preserve contention ratios
+    (E = T/D), as documented in EXPERIMENTS.md.
+    """
+
+    warehouses: int
+    num_items: int = DEFAULT_NUM_ITEMS
+
+    def district_key(self, w: int, d: int) -> int:
+        return w * DISTRICTS_PER_WAREHOUSE + d
+
+    def customer_key(self, w: int, d: int, c: int) -> int:
+        return self.district_key(w, d) * CUSTOMERS_PER_DISTRICT + c
+
+    def stock_key(self, w: int, i: int) -> int:
+        return w * self.num_items + i
+
+    @property
+    def num_districts(self) -> int:
+        return self.warehouses * DISTRICTS_PER_WAREHOUSE
+
+    @property
+    def num_customers(self) -> int:
+        return self.num_districts * CUSTOMERS_PER_DISTRICT
+
+    @property
+    def num_stock(self) -> int:
+        return self.warehouses * self.num_items

@@ -1,0 +1,22 @@
+"""YCSB workload (A-E) with a bounded Zipfian key distribution.
+
+``build_ycsb`` returns (database, registry, generator)::
+
+    db, registry, gen = build_ycsb(num_records=100_000, workload="a")
+"""
+
+from repro.workloads.ycsb.generator import (
+    WORKLOADS,
+    YcsbGenerator,
+    YcsbWorkload,
+    build_ycsb,
+    ycsb_delayed_columns,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "YcsbGenerator",
+    "YcsbWorkload",
+    "build_ycsb",
+    "ycsb_delayed_columns",
+]

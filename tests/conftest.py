@@ -1,0 +1,21 @@
+"""Shared fixtures; the callable helpers live in helpers.py."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import bank_engine
+
+
+@pytest.fixture
+def bank():
+    """(engine, db, registry) over a fresh 64-account bank."""
+    return bank_engine()
+
+
+@pytest.fixture
+def tiny_tpcc():
+    """A 2-warehouse, small-item TPC-C instance (fresh per test)."""
+    from repro.workloads.tpcc import build_tpcc
+
+    return build_tpcc(warehouses=2, num_items=2000, seed=11)

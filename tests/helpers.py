@@ -1,0 +1,77 @@
+"""Shared test helpers (importable as `helpers`; kept out of
+conftest.py so the module name never collides with benchmarks/)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LTPGConfig, LTPGEngine
+from repro.storage import Database, make_schema
+from repro.txn import ProcedureRegistry, Transaction
+
+
+def build_bank(accounts: int = 64, balance: int = 1000) -> tuple[Database, ProcedureRegistry]:
+    """A tiny two-table bank: deterministic, easy to reason about.
+
+    Procedures:
+
+    * ``transfer(a, b, amount)`` — RMW both balances (classic conflict).
+    * ``deposit(a, amount)``     — commutative ADD on one balance.
+    * ``audit(a, b)``            — read two balances.
+    * ``open_account(key, amount)`` — insert.
+    * ``bad(a)``                 — always rolls itself back after a write.
+    """
+    db = Database("bank")
+    table = db.create_table(make_schema("accounts", "acct_id", "balance", "flags"))
+    table.bulk_load(
+        np.arange(accounts, dtype=np.int64),
+        {"balance": np.full(accounts, balance, dtype=np.int64)},
+    )
+    registry = ProcedureRegistry()
+
+    @registry.register("transfer")
+    def transfer(ctx, a, b, amount):
+        bal_a = ctx.read("accounts", a, "balance")
+        bal_b = ctx.read("accounts", b, "balance")
+        ctx.write("accounts", a, "balance", bal_a - amount)
+        ctx.write("accounts", b, "balance", bal_b + amount)
+
+    @registry.register("deposit")
+    def deposit(ctx, a, amount):
+        ctx.add("accounts", a, "balance", amount)
+
+    @registry.register("audit")
+    def audit(ctx, a, b):
+        ctx.read("accounts", a, "balance")
+        ctx.read("accounts", b, "balance")
+
+    @registry.register("open_account")
+    def open_account(ctx, key, amount):
+        ctx.insert("accounts", key, {"balance": amount})
+
+    @registry.register("bad")
+    def bad(ctx, a):
+        ctx.write("accounts", a, "flags", 1)
+        ctx.abort("always rolls back")
+
+    return db, registry
+
+
+def bank_engine(
+    accounts: int = 64, config: LTPGConfig | None = None
+) -> tuple[LTPGEngine, Database, ProcedureRegistry]:
+    db, registry = build_bank(accounts)
+    engine = LTPGEngine(db, registry, config or LTPGConfig(batch_size=64))
+    return engine, db, registry
+
+
+def txn(name: str, *params) -> Transaction:
+    return Transaction(name, tuple(params))
+
+
+def tids(transactions) -> None:
+    """Assign sequential TIDs in list order."""
+    for i, t in enumerate(transactions):
+        t.tid = i
+
+

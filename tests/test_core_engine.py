@@ -1,0 +1,241 @@
+"""LTPG engine end-to-end semantics on the bank workload."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from helpers import bank_engine, build_bank, tids, txn
+from repro.core import LTPGConfig, LTPGEngine
+from repro.errors import TransactionError
+from repro.txn import BatchScheduler, TxnStatus, apply_local_sets, BufferedContext
+
+
+def run_batch(engine, txns):
+    tids(txns)
+    return engine.run_batch(txns)
+
+
+class TestBasicCommit:
+    def test_disjoint_transfers_all_commit(self, bank):
+        engine, db, _ = bank
+        txns = [txn("transfer", 2 * i, 2 * i + 1, 10) for i in range(8)]
+        result = run_batch(engine, txns)
+        assert result.stats.committed == 8
+        assert result.stats.aborted == 0
+        t = db.table("accounts")
+        for i in range(8):
+            assert t.read(2 * i, "balance") == 990
+            assert t.read(2 * i + 1, "balance") == 1010
+
+    def test_conflicting_transfers_min_tid_wins(self, bank):
+        engine, db, _ = bank
+        txns = [txn("transfer", 0, 1, 10), txn("transfer", 0, 2, 20)]
+        result = run_batch(engine, txns)
+        assert result.stats.committed == 1
+        assert txns[0].status is TxnStatus.COMMITTED
+        assert txns[1].status is TxnStatus.ABORTED
+        assert "waw" in txns[1].abort_reason
+        assert db.table("accounts").read(0, "balance") == 990
+
+    def test_reader_after_writer_reorders_and_commits(self, bank):
+        engine, db, _ = bank
+        txns = [txn("transfer", 0, 1, 10), txn("audit", 0, 5)]
+        result = run_batch(engine, txns)
+        # audit (tid 1) read account 0 which tid 0 wrote: RAW, but no
+        # WAR -> logical reordering commits it before the transfer.
+        assert result.stats.committed == 2
+        assert result.serial_order() == [1, 0]
+
+    def test_reader_aborts_without_reordering(self, bank):
+        _, db, registry = bank
+        engine = LTPGEngine(
+            db, registry, LTPGConfig(batch_size=64, logical_reordering=False)
+        )
+        txns = [txn("transfer", 0, 1, 10), txn("audit", 0, 5)]
+        result = run_batch(engine, txns)
+        assert txns[1].status is TxnStatus.ABORTED
+        assert txns[1].abort_reason == "raw"
+
+    def test_logic_abort_is_final_and_writes_nothing(self, bank):
+        engine, db, _ = bank
+        txns = [txn("bad", 0)]
+        result = run_batch(engine, txns)
+        assert txns[0].status is TxnStatus.LOGIC_ABORTED
+        assert result.logic_aborted == [txns[0]]
+        assert db.table("accounts").read(0, "flags") == 0
+
+    def test_insert_conflict_unique_winner(self, bank):
+        engine, db, _ = bank
+        txns = [txn("open_account", 500, 1), txn("open_account", 500, 2)]
+        result = run_batch(engine, txns)
+        assert result.stats.committed == 1
+        assert txns[0].status is TxnStatus.COMMITTED
+        assert db.table("accounts").read(db.table("accounts").lookup(500), "balance") == 1
+
+    def test_commutative_adds_all_commit_without_delayed_update(self, bank):
+        # ADD is a read-modify-write under plain OCC: on the same row
+        # only the min TID commits.
+        engine, db, _ = bank
+        txns = [txn("deposit", 7, 5) for _ in range(4)]
+        result = run_batch(engine, txns)
+        assert result.stats.committed == 1
+        assert db.table("accounts").read(7, "balance") == 1005
+
+    def test_empty_batch(self, bank):
+        engine, _, _ = bank
+        result = engine.run_batch([])
+        assert result.stats.num_txns == 0
+
+
+class TestDelayedUpdate:
+    def engine(self):
+        db, registry = build_bank()
+        config = LTPGConfig(
+            batch_size=64,
+            delayed_columns=frozenset({("accounts", "balance")}),
+        )
+        return LTPGEngine(db, registry, config), db
+
+    def test_hot_adds_all_commit(self):
+        engine, db = self.engine()
+        txns = [txn("deposit", 7, 5) for _ in range(10)]
+        result = run_batch(engine, txns)
+        assert result.stats.committed == 10
+        assert db.table("accounts").read(7, "balance") == 1050
+
+    def test_aborted_transaction_adds_not_applied(self):
+        engine, db = self.engine()
+        # transfers write 'balance'... which is delayed-managed: engine
+        # must reject non-ADD access to a delayed column.
+        txns = [txn("transfer", 0, 1, 10)]
+        tids(txns)
+        with pytest.raises(TransactionError):
+            engine.run_batch(txns)
+
+    def test_mixed_delayed_and_plain_tables(self):
+        engine, db = self.engine()
+        txns = [txn("deposit", 3, 1), txn("deposit", 3, 2), txn("open_account", 900, 7)]
+        result = run_batch(engine, txns)
+        assert result.stats.committed == 3
+        assert db.table("accounts").read(3, "balance") == 1003
+
+
+class TestSplitFlags:
+    def test_split_avoids_cross_column_conflict(self):
+        db, registry = build_bank()
+        config = LTPGConfig(
+            batch_size=64,
+            split_columns=frozenset({("accounts", "flags")}),
+            delayed_update=False,
+        )
+        engine = LTPGEngine(db, registry, config)
+
+        @registry.register("set_flag")
+        def set_flag(ctx, a):
+            ctx.write("accounts", a, "flags", 1)
+
+        txns = [txn("set_flag", 0), txn("audit", 0, 1)]
+        result = run_batch(engine, txns)
+        # audit reads balance (group 0); set_flag writes flags (group 1):
+        # no conflict even though both touch row 0.
+        assert result.stats.committed == 2
+
+    def test_without_split_same_row_conflicts(self):
+        db, registry = build_bank()
+        config = LTPGConfig(
+            batch_size=64, split_flags=False, logical_reordering=False
+        )
+        engine = LTPGEngine(db, registry, config)
+
+        @registry.register("set_flag")
+        def set_flag(ctx, a):
+            ctx.write("accounts", a, "flags", 1)
+
+        txns = [txn("set_flag", 0), txn("audit", 0, 1)]
+        result = run_batch(engine, txns)
+        assert txns[1].status is TxnStatus.ABORTED
+
+
+class TestDeterminism:
+    def test_same_input_same_outcome_and_state(self):
+        outcomes = []
+        digests = []
+        for _ in range(2):
+            engine, db, _ = bank_engine()
+            txns = [txn("transfer", i % 4, (i + 1) % 4, 1) for i in range(16)]
+            result = run_batch(engine, txns)
+            outcomes.append(sorted(t.tid for t in result.committed))
+            digests.append(db.state_digest())
+        assert outcomes[0] == outcomes[1]
+        assert digests[0] == digests[1]
+
+    def test_retried_transactions_keep_tids(self, bank):
+        engine, _, _ = bank
+        scheduler = BatchScheduler(batch_size=8)
+        txns = [txn("transfer", 0, 1, 1) for _ in range(8)]
+        scheduler.admit(txns)
+        batch = scheduler.next_batch()
+        result = engine.run_batch(batch)
+        aborted_tids = [t.tid for t in result.aborted]
+        scheduler.requeue_aborted(result.aborted)
+        nxt = scheduler.next_batch()
+        assert [t.tid for t in nxt] == sorted(aborted_tids)
+
+    def test_batch_log_records_everything(self, bank):
+        engine, _, _ = bank
+        txns = [txn("transfer", 0, 1, 1), txn("transfer", 0, 2, 1)]
+        run_batch(engine, txns)
+        entry = engine.batch_log.batches()[0]
+        assert len(entry.records) == 2
+        assert entry.committed_tids == [0]
+        assert entry.aborted_tids == [1]
+
+
+class TestSerializability:
+    def replay(self, db_before, registry, result):
+        """Replay committed transactions serially in witness order."""
+        order = result.serial_order()
+        by_tid = {t.tid: t for t in result.committed}
+        for tid in order:
+            t = by_tid[tid]
+            ctx = BufferedContext(db_before)
+            registry.get(t.procedure_name)(ctx, *t.params)
+            apply_local_sets(db_before, ctx.local)
+        return db_before
+
+    def test_committed_state_equals_serial_replay(self):
+        engine, db, registry = bank_engine()
+        before = db.copy()
+        txns = [txn("transfer", i % 6, (i + 3) % 6, i + 1) for i in range(24)]
+        txns += [txn("audit", 1, 2) for _ in range(4)]
+        result = run_batch(engine, txns)
+        replayed = self.replay(before, registry, result)
+        assert replayed.state_digest() == db.state_digest()
+
+    def test_replay_with_reordered_readers(self):
+        engine, db, registry = bank_engine()
+        before = db.copy()
+        txns = [txn("transfer", 0, 1, 7), txn("audit", 0, 1), txn("audit", 1, 0)]
+        result = run_batch(engine, txns)
+        assert result.stats.committed == 3
+        replayed = self.replay(before, registry, result)
+        assert replayed.state_digest() == db.state_digest()
+
+
+class TestProcessLoop:
+    def test_all_transactions_eventually_final(self, bank):
+        engine, _, _ = bank
+        txns = [txn("transfer", 0, 1, 1) for _ in range(6)]
+        stats = engine.run_transactions(txns, max_batches=20)
+        assert all(t.is_final for t in txns)
+        assert stats.total_committed == 6
+
+    def test_run_stats_aggregation(self, bank):
+        engine, _, _ = bank
+        txns = [txn("deposit", i, 1) for i in range(10)]
+        stats = engine.run_transactions(txns)
+        assert stats.total_admitted >= 10
+        assert stats.throughput_tps > 0
+        assert stats.mean_commit_rate > 0

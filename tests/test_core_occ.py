@@ -1,0 +1,107 @@
+"""Deterministic-OCC commit rules and the serial-order witness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ConflictFlags, abort_reason, commit_mask, logical_order
+
+
+def flags(waw, raw, war) -> ConflictFlags:
+    return ConflictFlags(
+        waw=np.array(waw, dtype=bool),
+        raw=np.array(raw, dtype=bool),
+        war=np.array(war, dtype=bool),
+    )
+
+
+class TestCommitMask:
+    def test_clean_transaction_commits(self):
+        f = flags([False], [False], [False])
+        assert commit_mask(f, reorder=False)[0]
+        assert commit_mask(f, reorder=True)[0]
+
+    def test_waw_always_aborts(self):
+        f = flags([True], [False], [False])
+        assert not commit_mask(f, reorder=False)[0]
+        assert not commit_mask(f, reorder=True)[0]
+
+    def test_raw_aborts_without_reordering(self):
+        f = flags([False], [True], [False])
+        assert not commit_mask(f, reorder=False)[0]
+
+    def test_raw_only_commits_with_reordering(self):
+        f = flags([False], [True], [False])
+        assert commit_mask(f, reorder=True)[0]
+
+    def test_war_only_commits_either_way(self):
+        f = flags([False], [False], [True])
+        assert commit_mask(f, reorder=False)[0]
+        assert commit_mask(f, reorder=True)[0]
+
+    def test_raw_plus_war_aborts_even_with_reordering(self):
+        f = flags([False], [True], [True])
+        assert not commit_mask(f, reorder=True)[0]
+
+    def test_paper_example_3(self):
+        """Six transactions on wid=4: odd TIDs read, even TIDs write.
+
+        TIDs: 1..6 -> indices 0..5.  Readers: 1, 3, 5; writers: 2, 4, 6.
+        Row-level flags: writer Tx2 is the min writer; readers after it
+        have RAW; writers after it have WAW (+WAR from earlier readers).
+        """
+        #          Tx1    Tx2    Tx3    Tx4    Tx5    Tx6
+        waw = [False, False, False, True, False, True]
+        raw = [False, False, True, False, True, False]
+        war = [False, True, False, True, False, True]
+        f = flags(waw, raw, war)
+        no_reorder = commit_mask(f, reorder=False)
+        assert list(no_reorder) == [True, True, False, False, False, False]
+        reorder = commit_mask(f, reorder=True)
+        assert list(reorder) == [True, True, True, False, True, False]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictFlags(
+                waw=np.zeros(2, dtype=bool),
+                raw=np.zeros(3, dtype=bool),
+                war=np.zeros(2, dtype=bool),
+            )
+
+
+class TestAbortReason:
+    def test_reasons(self):
+        assert abort_reason(True, False, False) == "waw"
+        assert abort_reason(False, True, True) == "raw+war"
+        assert abort_reason(False, False, False) == "unknown"
+
+
+class TestLogicalOrder:
+    def test_reader_precedes_writer(self):
+        committed = [
+            (1, set(), {"k"}),   # writer of k
+            (2, {"k"}, set()),   # reader of k (RAW, reordered before)
+        ]
+        assert logical_order(committed) == [2, 1]
+
+    def test_tid_tiebreak(self):
+        committed = [(3, set(), set()), (1, set(), set()), (2, set(), set())]
+        assert logical_order(committed) == [1, 2, 3]
+
+    def test_chain_of_reorderings(self):
+        # T1 writes a; T5 reads a and writes b; T9 reads b.
+        committed = [
+            (1, set(), {"a"}),
+            (5, {"a"}, {"b"}),
+            (9, {"b"}, set()),
+        ]
+        assert logical_order(committed) == [9, 5, 1]
+
+    def test_two_writers_same_key_rejected(self):
+        committed = [(1, set(), {"k"}), (2, set(), {"k"})]
+        with pytest.raises(ValueError):
+            logical_order(committed)
+
+    def test_empty(self):
+        assert logical_order([]) == []

@@ -1,0 +1,70 @@
+"""Engine behaviour under the three memory modes."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from helpers import build_bank, txn
+from repro.core import LTPGConfig, LTPGEngine, MemoryMode
+from repro.gpusim import Device, DeviceConfig
+
+
+def engine_with(mode, device_bytes=None, accounts=256):
+    db, registry = build_bank(accounts=accounts)
+    cfg = DeviceConfig()
+    if device_bytes is not None:
+        cfg = dataclasses.replace(cfg, device_memory_bytes=device_bytes)
+    engine = LTPGEngine(
+        db,
+        registry,
+        LTPGConfig(batch_size=64, memory_mode=mode),
+        Device(cfg),
+    )
+    return engine
+
+
+def run_one(engine, start_tid=0, n=64):
+    batch = [txn("transfer", i % 32, (i + 1) % 32, 1) for i in range(n)]
+    for i, t in enumerate(batch):
+        t.tid = start_tid + i
+    return engine.run_batch(batch)
+
+
+class TestZeroCopy:
+    def test_zero_copy_cheaper_transfers_same_results(self):
+        plain = engine_with(MemoryMode.DEVICE)
+        zc = engine_with(MemoryMode.ZERO_COPY)
+        r_plain = run_one(plain)
+        r_zc = run_one(zc)
+        assert r_zc.stats.committed == r_plain.stats.committed
+        assert r_zc.stats.transfer_ns < r_plain.stats.transfer_ns
+        assert zc.database.state_digest() == plain.database.state_digest()
+
+
+class TestUnified:
+    def test_unified_mode_pays_page_faults(self):
+        resident = engine_with(MemoryMode.DEVICE)
+        paged = engine_with(MemoryMode.UNIFIED, device_bytes=1 << 30)
+        r_res = run_one(resident)
+        r_pag = run_one(paged)
+        assert r_pag.stats.phase_ns["execute"] > r_res.stats.phase_ns["execute"]
+        assert r_pag.stats.committed == r_res.stats.committed
+
+    def test_resident_pages_warm_across_batches(self):
+        paged = engine_with(MemoryMode.UNIFIED, device_bytes=1 << 30)
+        first = run_one(paged)
+        second = run_one(paged, start_tid=1000)
+        # same rows touched again: pages stay resident, faults vanish
+        assert (
+            second.stats.phase_ns["execute"] < first.stats.phase_ns["execute"]
+        )
+
+    def test_auto_resolves_to_unified_when_too_big(self):
+        engine = engine_with(MemoryMode.AUTO, device_bytes=4096)
+        assert engine.memory_plan.mode is MemoryMode.UNIFIED
+
+    def test_auto_resolves_to_device_when_fits(self):
+        engine = engine_with(MemoryMode.AUTO)
+        assert engine.memory_plan.mode is MemoryMode.DEVICE

@@ -1,0 +1,194 @@
+"""Lock-step SIMT interpreter: masking, divergence, atomics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim import AtomicArray, Warp
+
+
+def run(program, memory=None, width=32, active=None):
+    warp = Warp(width)
+    return warp.run(program, memory=memory, active=active)
+
+
+class TestBasics:
+    def test_const_and_store(self):
+        mem = {"out": np.zeros(32, dtype=np.int64)}
+        run(
+            [
+                ("lane", "i"),
+                ("const", "v", 7),
+                ("st", "out", "i", "v"),
+            ],
+            mem,
+        )
+        assert (mem["out"] == 7).all()
+
+    def test_lane_ids(self):
+        mem = {"out": np.zeros(32, dtype=np.int64)}
+        run([("lane", "i"), ("st", "out", "i", "i")], mem)
+        assert list(mem["out"]) == list(range(32))
+
+    def test_arithmetic(self):
+        mem = {"out": np.zeros(8, dtype=np.int64)}
+        run(
+            [
+                ("lane", "i"),
+                ("const", "two", 2),
+                ("mul", "v", "i", "two"),
+                ("st", "out", "i", "v"),
+            ],
+            mem,
+            width=8,
+        )
+        assert list(mem["out"]) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_load(self):
+        mem = {
+            "inp": np.arange(10, 42, dtype=np.int64),
+            "out": np.zeros(32, dtype=np.int64),
+        }
+        run(
+            [("lane", "i"), ("ld", "v", "inp", "i"), ("st", "out", "i", "v")],
+            mem,
+        )
+        assert (mem["out"] == mem["inp"]).all()
+
+    def test_unknown_instruction(self):
+        with pytest.raises(DeviceError):
+            run([("frobnicate",)])
+
+    def test_unknown_memory(self):
+        with pytest.raises(DeviceError):
+            run([("lane", "i"), ("ld", "v", "nope", "i")])
+
+
+class TestDivergence:
+    def test_uniform_branch_no_divergence(self):
+        stats = run(
+            [
+                ("lane", "i"),
+                ("const", "k", 100),
+                ("iflt", "i", "k"),  # all lanes take it
+                ("endif",),
+            ]
+        )
+        assert stats.divergent_branches == 0
+
+    def test_split_branch_diverges_once(self):
+        mem = {"out": np.zeros(32, dtype=np.int64)}
+        stats = run(
+            [
+                ("lane", "i"),
+                ("const", "k", 16),
+                ("const", "one", 1),
+                ("const", "two", 2),
+                ("iflt", "i", "k"),
+                ("st", "out", "i", "one"),
+                ("else",),
+                ("st", "out", "i", "two"),
+                ("endif",),
+            ],
+            mem,
+        )
+        assert stats.divergent_branches == 1
+        assert (mem["out"][:16] == 1).all()
+        assert (mem["out"][16:] == 2).all()
+
+    def test_nested_if(self):
+        mem = {"out": np.zeros(32, dtype=np.int64)}
+        run(
+            [
+                ("lane", "i"),
+                ("const", "k16", 16),
+                ("const", "k8", 8),
+                ("const", "v", 9),
+                ("iflt", "i", "k16"),
+                ("iflt", "i", "k8"),
+                ("st", "out", "i", "v"),
+                ("endif",),
+                ("endif",),
+            ],
+            mem,
+        )
+        assert (mem["out"][:8] == 9).all()
+        assert (mem["out"][8:] == 0).all()
+
+    def test_unbalanced_if_rejected(self):
+        with pytest.raises(DeviceError):
+            run([("lane", "i"), ("iflt", "i", "i")])
+
+    def test_else_without_if_rejected(self):
+        with pytest.raises(DeviceError):
+            run([("else",)])
+
+    def test_masked_lanes_do_not_execute(self):
+        mem = {"out": np.zeros(32, dtype=np.int64)}
+        active = np.zeros(32, dtype=bool)
+        active[:4] = True
+        run(
+            [("lane", "i"), ("const", "v", 5), ("st", "out", "i", "v")],
+            mem,
+            active=active,
+        )
+        assert (mem["out"][:4] == 5).all()
+        assert (mem["out"][4:] == 0).all()
+
+
+class TestWarpAtomics:
+    def test_atomic_add_serializes_correctly(self):
+        mem = {"counter": AtomicArray(1)}
+        run(
+            [
+                ("const", "addr", 0),
+                ("const", "one", 1),
+                ("atomic_add", "counter", "addr", "one", "old"),
+            ],
+            mem,
+        )
+        assert mem["counter"].data[0] == 32
+
+    def test_atomic_min_contention_stats(self):
+        mem = {"log": AtomicArray(1, fill=10_000)}
+        stats = run(
+            [
+                ("lane", "i"),
+                ("const", "addr", 0),
+                ("atomic_min", "log", "addr", "i", "old"),
+            ],
+            mem,
+        )
+        assert mem["log"].data[0] == 0
+        assert stats.atomic_max_chain == 32
+        assert stats.atomic_serialized == 31
+
+    def test_atomic_distinct_addresses_no_chain(self):
+        mem = {"log": AtomicArray(32, fill=99)}
+        stats = run(
+            [
+                ("lane", "i"),
+                ("atomic_min", "log", "i", "i", "old"),
+            ],
+            mem,
+        )
+        assert stats.atomic_max_chain == 1
+        assert stats.atomic_serialized == 0
+        assert (mem["log"].data == np.arange(32)).all()
+
+    def test_atomic_old_values_ascending_lane_order(self):
+        mem = {"log": AtomicArray(1, fill=100)}
+        out = np.zeros(4, dtype=np.int64)
+        warp = Warp(4)
+        warp.run(
+            [
+                ("lane", "i"),
+                ("const", "addr", 0),
+                ("atomic_min", "log", "addr", "i", "old"),
+                ("st", "out", "i", "old"),
+            ],
+            {"log": mem["log"], "out": out},
+        )
+        assert list(out) == [100, 0, 0, 0]

@@ -1,0 +1,102 @@
+"""Run-level metrics (percentiles, retry histogram, conflict
+observability) and the full-mix harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import bank_engine, txn
+from repro.bench import fullmix
+from repro.core.stats import BatchStats, RunStats
+
+
+class TestRunMetrics:
+    def make_run(self, latencies):
+        run = RunStats()
+        for i, lat in enumerate(latencies):
+            run.add(BatchStats(i, 10, 10, 0, latency_ns=float(lat)))
+        return run
+
+    def test_percentiles(self):
+        run = self.make_run([100, 200, 300, 400, 500])
+        assert run.latency_percentile(0) == 100
+        assert run.latency_percentile(50) == 300
+        assert run.latency_percentile(100) == 500
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self.make_run([1]).latency_percentile(101)
+
+    def test_percentile_empty_run(self):
+        assert RunStats().latency_percentile(50) == 0.0
+
+    def test_abort_reason_totals(self):
+        run = RunStats()
+        b1 = BatchStats(0, 4, 2, 2)
+        b1.abort_reasons["waw"] = 2
+        b2 = BatchStats(1, 4, 3, 1)
+        b2.abort_reasons["waw"] = 1
+        b2.abort_reasons["raw"] = 1
+        run.add(b1)
+        run.add(b2)
+        totals = run.abort_reason_totals()
+        assert totals["waw"] == 3
+        assert totals["raw"] == 1
+
+
+class TestEngineObservability:
+    def test_commit_attempts_recorded(self):
+        engine, _, _ = bank_engine()
+        txns = [txn("transfer", 0, 1, 1) for _ in range(4)]
+        for i, t in enumerate(txns):
+            t.tid = i
+        result = engine.run_batch(txns)
+        assert result.stats.commit_attempts[1] == 1
+        retry = engine.run_batch(result.aborted)
+        assert retry.stats.commit_attempts[2] == 1
+
+    def test_registration_counts_and_chain(self):
+        engine, _, _ = bank_engine()
+        txns = [txn("transfer", 0, 1, 1) for _ in range(8)]
+        for i, t in enumerate(txns):
+            t.tid = i
+        result = engine.run_batch(txns)
+        stats = result.stats
+        assert stats.registered_reads == 16   # 2 reads/txn, deduped
+        assert stats.registered_writes == 16
+        assert stats.max_atomic_chain >= 8    # all txns hit accounts 0/1
+
+
+class TestFullMix:
+    def test_all_five_types_flow(self):
+        result = fullmix.run(scale=32.0, rounds=3)
+        assert result.mtps > 0
+        assert 0 < result.commit_rate <= 1
+        # read-only types never CC-abort
+        assert result.per_proc_rate["orderstatus"] == pytest.approx(1.0)
+        assert result.per_proc_rate["stocklevel"] == pytest.approx(1.0)
+        # writers see some contention but mostly commit
+        assert result.per_proc_rate["neworder"] > 0.3
+        assert result.per_proc_rate["payment"] > 0.3
+        # retries exist and decay
+        hist = result.retry_histogram
+        assert hist.get(1, 0) > hist.get(2, 0)
+        assert result.p99_us >= result.p50_us
+        assert "Full TPC-C mix" in result.format()
+
+
+class TestContentionSweep:
+    def test_optimized_curve_degrades_gracefully(self):
+        from repro.bench import sweep
+
+        result = sweep.run(scale=32.0, rounds=2, hot_probs=(0.0, 1.0))
+        cold_opt = result.cells[(0.0, True)]
+        hot_opt = result.cells[(1.0, True)]
+        cold_raw = result.cells[(0.0, False)]
+        hot_raw = result.cells[(1.0, False)]
+        # paper SectionVI-F: more popular-data access -> more aborts, and the
+        # optimizations keep the engine far above the unoptimized one
+        assert hot_opt[1] <= cold_opt[1] + 0.02
+        assert hot_opt[0] > hot_raw[0]
+        assert cold_opt[0] > cold_raw[0]
+        assert "hot-data access frequency" in result.format()

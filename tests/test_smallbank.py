@@ -1,0 +1,138 @@
+"""SmallBank workload: procedure semantics, money conservation,
+serializability on LTPG — the generality check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LTPGConfig, LTPGEngine
+from repro.errors import WorkloadError
+from repro.txn import BufferedContext, apply_local_sets, assign_tids
+from repro.workloads.smallbank import DEFAULT_MIX, build_smallbank
+
+
+def total_money(db):
+    table = db.table("smallbank")
+    return sum(
+        table.read(r, "checking") + table.read(r, "savings")
+        for r in range(table.num_rows)
+    )
+
+
+class TestProcedures:
+    def setup_method(self):
+        self.db, self.registry, _ = build_smallbank(16, seed=1)
+
+    def apply(self, name, *params):
+        ctx = BufferedContext(self.db)
+        self.registry.get(name)(ctx, *params)
+        apply_local_sets(self.db, ctx.local)
+
+    def read(self, c, col):
+        t = self.db.table("smallbank")
+        return t.read(t.lookup(c), col)
+
+    def test_deposit_checking(self):
+        self.apply("deposit_checking", 3, 50)
+        assert self.read(3, "checking") == 10_050
+
+    def test_transact_savings_overdraft_aborts(self):
+        from repro.errors import TransactionAborted
+
+        ctx = BufferedContext(self.db)
+        with pytest.raises(TransactionAborted):
+            self.registry.get("transact_savings")(ctx, 3, -20_000)
+
+    def test_amalgamate_moves_everything(self):
+        self.apply("amalgamate", 2, 5)
+        assert self.read(2, "checking") == 0
+        assert self.read(2, "savings") == 0
+        assert self.read(5, "checking") == 30_000
+
+    def test_write_check_penalty(self):
+        self.apply("write_check", 1, 25_000)  # above checking+savings
+        assert self.read(1, "checking") == 10_000 - 25_000 - 1
+
+    def test_send_payment_insufficient_funds(self):
+        from repro.errors import TransactionAborted
+
+        ctx = BufferedContext(self.db)
+        with pytest.raises(TransactionAborted):
+            self.registry.get("send_payment")(ctx, 0, 1, 99_999)
+
+    def test_send_payment_moves_funds(self):
+        self.apply("send_payment", 0, 1, 40)
+        assert self.read(0, "checking") == 9_960
+        assert self.read(1, "checking") == 10_040
+
+
+class TestGenerator:
+    def test_mix_validation(self):
+        with pytest.raises(WorkloadError):
+            build_smallbank(10, mix={"balance": 0.5})
+        with pytest.raises(WorkloadError):
+            build_smallbank(10, mix={"robbery": 1.0})
+        with pytest.raises(WorkloadError):
+            build_smallbank(1)
+
+    def test_deterministic(self):
+        _, _, g1 = build_smallbank(100, seed=5)
+        _, _, g2 = build_smallbank(100, seed=5)
+        a = [(t.procedure_name, t.params) for t in g1.make_batch(50)]
+        b = [(t.procedure_name, t.params) for t in g2.make_batch(50)]
+        assert a == b
+
+    def test_two_account_procedures_distinct(self):
+        _, _, gen = build_smallbank(50, zipf_alpha=2.0, seed=5)
+        for t in gen.make_batch(200):
+            if t.procedure_name in ("amalgamate", "send_payment"):
+                assert t.params[0] != t.params[1]
+
+
+class TestOnLtpg:
+    def run_engine(self, alpha, batch=256):
+        db, registry, gen = build_smallbank(4096, zipf_alpha=alpha, seed=9)
+        engine = LTPGEngine(db, registry, LTPGConfig(batch_size=batch))
+        txns = gen.make_batch(batch)
+        assign_tids(txns, 0)
+        result = engine.run_batch(txns)
+        return db, registry, result
+
+    def test_low_skew_mostly_commits(self):
+        _, _, result = self.run_engine(alpha=0.0)
+        assert result.stats.commit_rate > 0.8
+
+    def test_high_skew_contends(self):
+        _, _, low = self.run_engine(alpha=0.0)
+        _, _, high = self.run_engine(alpha=2.0)
+        assert high.stats.commit_rate < low.stats.commit_rate
+
+    def test_money_conserved_modulo_writechecks(self):
+        db, registry, gen = build_smallbank(256, zipf_alpha=0.5, seed=4)
+        before = total_money(db)
+        engine = LTPGEngine(db, registry, LTPGConfig(batch_size=128))
+        mix = {"deposit_checking": 0.3, "send_payment": 0.4, "amalgamate": 0.3}
+        gen.mix = mix
+        txns = gen.make_batch(128)
+        assign_tids(txns, 0)
+        result = engine.run_batch(txns)
+        deposited = sum(
+            t.params[1] for t in result.committed
+            if t.procedure_name == "deposit_checking"
+        )
+        assert total_money(db) == before + deposited
+
+    def test_serializability_witness(self):
+        db, registry, gen = build_smallbank(64, zipf_alpha=1.0, seed=2)
+        reference = db.copy()
+        engine = LTPGEngine(db, registry, LTPGConfig(batch_size=128))
+        txns = gen.make_batch(128)
+        assign_tids(txns, 0)
+        result = engine.run_batch(txns)
+        by_tid = {t.tid: t for t in result.committed}
+        for tid in result.serial_order():
+            t = by_tid[tid]
+            ctx = BufferedContext(reference)
+            registry.get(t.procedure_name)(ctx, *t.params)
+            apply_local_sets(reference, ctx.local)
+        assert reference.state_digest() == db.state_digest()

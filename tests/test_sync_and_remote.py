@@ -1,0 +1,85 @@
+"""Full-snapshot synchronization intervals and remote payments."""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import build_bank, txn
+from repro.core import LTPGConfig, LTPGEngine
+from repro.workloads.tpcc import TpccGenerator, TpccMix, TpccScale
+
+
+class TestFullSyncInterval:
+    def run_batches(self, interval):
+        db, registry = build_bank(accounts=512)
+        config = LTPGConfig(batch_size=32, full_sync_interval=interval)
+        engine = LTPGEngine(db, registry, config)
+        transfers = []
+        tid = 0
+        for _ in range(4):
+            batch = [txn("deposit", i, 1) for i in range(32)]
+            for t in batch:
+                t.tid = tid
+                tid += 1
+            result = engine.run_batch(batch)
+            transfers.append(result.stats.transfer_ns)
+        return transfers
+
+    def test_interval_adds_periodic_transfer(self):
+        plain = self.run_batches(None)
+        synced = self.run_batches(2)
+        # batches 2 and 4 (indices 1 and 3) carry the full-snapshot copy
+        # (at least one extra DMA latency on top of the rwset shipping)
+        assert synced[1] > plain[1] + 5_000
+        assert synced[3] > plain[3] + 5_000
+        assert synced[0] == pytest.approx(plain[0])
+        assert synced[2] == pytest.approx(plain[2])
+
+    def test_interval_one_syncs_every_batch(self):
+        every = self.run_batches(1)
+        plain = self.run_batches(None)
+        assert all(e > p for e, p in zip(every, plain))
+
+
+class TestRemotePayments:
+    def make_gen(self, prob):
+        scale = TpccScale(warehouses=4, num_items=1000)
+        return TpccGenerator(
+            scale,
+            mix=TpccMix.neworder_percentage(0),
+            seed=9,
+            remote_payment_prob=prob,
+        ), scale
+
+    def customer_warehouse(self, scale, c_key):
+        from repro.workloads.tpcc.schema import (
+            CUSTOMERS_PER_DISTRICT,
+            DISTRICTS_PER_WAREHOUSE,
+        )
+
+        return c_key // CUSTOMERS_PER_DISTRICT // DISTRICTS_PER_WAREHOUSE
+
+    def test_zero_prob_all_local(self):
+        gen, scale = self.make_gen(0.0)
+        for t in gen.make_batch(100):
+            w, _, c_key = t.params[0], t.params[1], t.params[2]
+            assert self.customer_warehouse(scale, c_key) == w
+
+    def test_default_prob_produces_remote(self):
+        gen, scale = self.make_gen(0.5)
+        remote = 0
+        batch = gen.make_batch(300)
+        for t in batch:
+            w, c_key = t.params[0], t.params[2]
+            if self.customer_warehouse(scale, c_key) != w:
+                remote += 1
+        assert 0.3 < remote / len(batch) < 0.7
+
+    def test_single_warehouse_never_remote(self):
+        scale = TpccScale(warehouses=1, num_items=1000)
+        gen = TpccGenerator(
+            scale, mix=TpccMix.neworder_percentage(0), seed=9,
+            remote_payment_prob=1.0,
+        )
+        for t in gen.make_batch(50):
+            assert self.customer_warehouse(scale, t.params[2]) == 0

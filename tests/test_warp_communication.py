@@ -1,0 +1,133 @@
+"""Warp-communication primitives and the Example-3 delayed-update merge.
+
+The paper's Example 3: transactions updating the same hot row are
+processed by one warp; each thread broadcasts its delta, merges the
+deltas of lower-lane threads, and the highest-lane thread writes the
+combined result back.  These tests execute that exact program on the
+lock-step interpreter and check it equals serial application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Warp
+
+
+class TestShuffle:
+    def test_shfl_up_shifts_lanes(self):
+        out = np.zeros(8, dtype=np.int64)
+        Warp(8).run(
+            [
+                ("lane", "i"),
+                ("shfl_up", "s", "i", 1),
+                ("st", "out", "i", "s"),
+            ],
+            {"out": out},
+        )
+        assert list(out) == [0, 0, 1, 2, 3, 4, 5, 6]
+
+    def test_shfl_up_zero_delta_identity(self):
+        out = np.zeros(4, dtype=np.int64)
+        Warp(4).run(
+            [("lane", "i"), ("shfl_up", "s", "i", 0), ("st", "out", "i", "s")],
+            {"out": out},
+        )
+        assert list(out) == [0, 1, 2, 3]
+
+
+class TestPrefixSum:
+    def test_inclusive_prefix(self):
+        out = np.zeros(8, dtype=np.int64)
+        Warp(8).run(
+            [
+                ("const", "v", 2),
+                ("prefix_sum", "p", "v"),
+                ("lane", "i"),
+                ("st", "out", "i", "p"),
+            ],
+            {"out": out},
+        )
+        assert list(out) == [2, 4, 6, 8, 10, 12, 14, 16]
+
+    def test_reduce_add_broadcasts_total(self):
+        out = np.zeros(4, dtype=np.int64)
+        Warp(4).run(
+            [
+                ("lane", "i"),
+                ("reduce_add", "t", "i"),
+                ("st", "out", "i", "t"),
+            ],
+            {"out": out},
+        )
+        assert list(out) == [6, 6, 6, 6]
+
+    def test_masked_lanes_excluded(self):
+        out = np.zeros(8, dtype=np.int64)
+        active = np.array([True] * 4 + [False] * 4)
+        Warp(8).run(
+            [
+                ("const", "v", 1),
+                ("reduce_add", "t", "v"),
+                ("lane", "i"),
+                ("st", "out", "i", "t"),
+            ],
+            {"out": out},
+            active=active,
+        )
+        assert list(out[:4]) == [4, 4, 4, 4]
+        assert list(out[4:]) == [0, 0, 0, 0]
+
+    def test_last_lane_flag(self):
+        out = np.zeros(8, dtype=np.int64)
+        active = np.array([True] * 5 + [False] * 3)
+        Warp(8).run(
+            [("last_lane", "f"), ("lane", "i"), ("st", "out", "i", "f")],
+            {"out": out},
+            active=active,
+        )
+        assert list(out) == [0, 0, 0, 0, 1, 0, 0, 0]
+
+
+class TestExample3DelayedMerge:
+    """The full warp-level delayed-update program from the paper."""
+
+    def merge_program(self):
+        return [
+            ("lane", "i"),
+            ("ld", "delta", "deltas", "i"),       # each thread's W_YTD delta
+            ("reduce_add", "total", "delta"),     # broadcast + merge
+            ("const", "addr", 0),
+            ("ld", "base", "row", "addr"),        # all threads read the row
+            ("add", "result", "base", "total"),   # apply merged deltas
+            ("last_lane", "is_last"),
+            ("const", "one", 1),
+            ("ifeq", "is_last", "one"),           # highest thread writes back
+            ("st", "row", "addr", "result"),
+            ("endif",),
+        ]
+
+    def test_merge_equals_serial_application(self):
+        deltas = np.arange(1, 33, dtype=np.int64)  # 32 payments
+        row = np.array([10_000], dtype=np.int64)
+        Warp(32).run(self.merge_program(), {"deltas": deltas, "row": row})
+        assert row[0] == 10_000 + deltas.sum()
+
+    def test_merge_with_partial_warp(self):
+        deltas = np.arange(1, 33, dtype=np.int64)
+        row = np.array([500], dtype=np.int64)
+        active = np.zeros(32, dtype=bool)
+        active[:7] = True  # only 7 transactions hit this row
+        Warp(32).run(
+            self.merge_program(), {"deltas": deltas, "row": row}, active=active
+        )
+        assert row[0] == 500 + deltas[:7].sum()
+
+    def test_single_writer_divergence_only_at_writeback(self):
+        deltas = np.ones(32, dtype=np.int64)
+        row = np.array([0], dtype=np.int64)
+        stats = Warp(32).run(self.merge_program(), {"deltas": deltas, "row": row})
+        # the only branch is the single-writer guard
+        assert stats.divergent_branches == 1
+        assert row[0] == 32

@@ -1,0 +1,267 @@
+"""Workloads: random helpers, TPC-C, YCSB."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LTPGConfig, LTPGEngine
+from repro.errors import WorkloadError
+from repro.txn import BufferedContext, assign_tids
+from repro.workloads import ZipfGenerator, nurand
+from repro.workloads.tpcc import (
+    DELAYED_COLUMNS,
+    TpccGenerator,
+    TpccMix,
+    TpccScale,
+    build_tpcc,
+    tpcc_nbytes,
+)
+from repro.workloads.ycsb import WORKLOADS, build_ycsb, ycsb_delayed_columns
+
+
+class TestRandHelpers:
+    def test_nurand_in_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            v = nurand(rng, 1023, 1, 3000)
+            assert 1 <= v <= 3000
+
+    def test_nurand_invalid_a(self):
+        with pytest.raises(WorkloadError):
+            nurand(np.random.default_rng(0), 7, 1, 10)
+
+    def test_zipf_bounds_and_skew(self):
+        z = ZipfGenerator(1000, 2.5)
+        rng = np.random.default_rng(1)
+        sample = z.sample(rng, 10_000)
+        assert sample.min() >= 0 and sample.max() < 1000
+        # alpha=2.5: the top key dominates (paper's high-contention mode)
+        assert (sample == 0).mean() > 0.5
+
+    def test_zipf_zero_alpha_uniformish(self):
+        z = ZipfGenerator(100, 0.0)
+        rng = np.random.default_rng(1)
+        sample = z.sample(rng, 20_000)
+        counts = np.bincount(sample, minlength=100)
+        assert counts.min() > 100  # roughly uniform
+
+    def test_zipf_invalid(self):
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(0, 1.0)
+        with pytest.raises(WorkloadError):
+            ZipfGenerator(10, -1.0)
+
+    def test_zipf_deterministic_given_seed(self):
+        z = ZipfGenerator(50, 1.2)
+        a = z.sample(np.random.default_rng(7), 100)
+        b = z.sample(np.random.default_rng(7), 100)
+        assert (a == b).all()
+
+
+class TestTpccSchemaAndLoader:
+    def test_scale_key_encodings_unique(self):
+        scale = TpccScale(warehouses=3, num_items=100)
+        keys = {
+            scale.customer_key(w, d, c)
+            for w in range(3)
+            for d in range(10)
+            for c in range(5)
+        }
+        assert len(keys) == 3 * 10 * 5
+        assert scale.stock_key(2, 99) == 2 * 100 + 99
+
+    def test_loader_row_counts(self, tiny_tpcc):
+        db, _, _ = tiny_tpcc
+        assert db.table("warehouse").num_rows == 2
+        assert db.table("district").num_rows == 20
+        assert db.table("customer").num_rows == 60_000
+        assert db.table("stock").num_rows == 4_000
+        assert db.table("item").num_rows == 2_000
+        assert db.table("orders").num_rows == 0
+
+    def test_nbytes_estimate_matches_loaded(self, tiny_tpcc):
+        db, _, _ = tiny_tpcc
+        estimate = tpcc_nbytes(TpccScale(warehouses=2, num_items=2000))
+        assert estimate == db.nbytes
+
+    def test_secondary_indexes_present(self, tiny_tpcc):
+        db, _, _ = tiny_tpcc
+        assert "o_c_key" in db.table("orders").secondary
+        assert "no_d_key" in db.table("new_order").secondary
+
+
+class TestTpccGenerator:
+    def test_mix_fractions_validated(self):
+        with pytest.raises(WorkloadError):
+            TpccMix(neworder=0.9, payment=0.3)
+
+    def test_neworder_percentage(self):
+        mix = TpccMix.neworder_percentage(100)
+        assert mix.neworder == 1.0 and mix.payment == 0.0
+
+    def test_batch_respects_mix(self):
+        scale = TpccScale(warehouses=2, num_items=1000)
+        gen = TpccGenerator(scale, mix=TpccMix.neworder_percentage(0), seed=3)
+        batch = gen.make_batch(50)
+        assert all(t.procedure_name == "payment" for t in batch)
+
+    def test_deterministic_given_seed(self):
+        scale = TpccScale(warehouses=2, num_items=1000)
+        a = TpccGenerator(scale, seed=5).make_batch(20)
+        b = TpccGenerator(scale, seed=5).make_batch(20)
+        assert [t.params for t in a] == [t.params for t in b]
+
+    def test_order_ids_unique_across_batches(self):
+        scale = TpccScale(warehouses=2, num_items=1000)
+        gen = TpccGenerator(scale, mix=TpccMix.neworder_percentage(100), seed=5)
+        ids = [t.params[3] for t in gen.make_batch(30) + gen.make_batch(30)]
+        assert len(set(ids)) == len(ids)
+
+    def test_invalid_batch_size(self):
+        gen = TpccGenerator(TpccScale(2, 100))
+        with pytest.raises(WorkloadError):
+            gen.make_batch(0)
+
+
+class TestTpccProcedures:
+    def test_neworder_effects(self, tiny_tpcc):
+        db, registry, _ = tiny_tpcc
+        ctx = BufferedContext(db)
+        scale = TpccScale(warehouses=2, num_items=2000)
+        s_key = scale.stock_key(0, 10)
+        before = db.table("stock").read(db.table("stock").lookup(s_key), "s_quantity")
+        registry.get("neworder")(ctx, 0, 0, scale.customer_key(0, 0, 5), 999, 0, 10, 3)
+        from repro.txn import apply_local_sets
+
+        apply_local_sets(db, ctx.local)
+        stock = db.table("stock")
+        after = stock.read(stock.lookup(s_key), "s_quantity")
+        assert after in (before - 3, before - 3 + 91)
+        assert stock.read(stock.lookup(s_key), "s_ytd") == 3
+        assert db.table("orders").get_row(999) is not None
+        assert db.table("new_order").get_row(999) is not None
+
+    def test_neworder_rollback_flag(self, tiny_tpcc):
+        db, registry, _ = tiny_tpcc
+        from repro.errors import TransactionAborted
+
+        ctx = BufferedContext(db)
+        with pytest.raises(TransactionAborted):
+            registry.get("neworder")(ctx, 0, 0, 5, 998, 1, 10, 3)
+
+    def test_payment_effects(self, tiny_tpcc):
+        db, registry, _ = tiny_tpcc
+        scale = TpccScale(warehouses=2, num_items=2000)
+        c_key = scale.customer_key(1, 2, 7)
+        ctx = BufferedContext(db)
+        registry.get("payment")(ctx, 1, 2, c_key, 250, 12345)
+        from repro.txn import apply_local_sets
+
+        w_before = db.table("warehouse").read(1, "w_ytd")
+        apply_local_sets(db, ctx.local)
+        assert db.table("warehouse").read(1, "w_ytd") == w_before + 250
+        cust = db.table("customer")
+        assert cust.read(cust.lookup(c_key), "c_balance") == -1000 - 250
+        assert db.table("history").get_row(12345) is not None
+
+    def test_orderstatus_reads_latest_order(self, tiny_tpcc):
+        db, registry, _ = tiny_tpcc
+        scale = TpccScale(warehouses=2, num_items=2000)
+        c_key = scale.customer_key(0, 0, 1)
+        ctx = BufferedContext(db)
+        registry.get("neworder")(ctx, 0, 0, c_key, 777, 0, 4, 2)
+        from repro.txn import apply_local_sets
+
+        apply_local_sets(db, ctx.local)
+        ctx2 = BufferedContext(db)
+        registry.get("orderstatus")(ctx2, c_key)
+        assert len(ctx2.ops) >= 3  # customer + header + lines
+
+    def test_stocklevel_counts(self, tiny_tpcc):
+        db, registry, _ = tiny_tpcc
+        ctx = BufferedContext(db)
+        registry.get("stocklevel")(ctx, 0, 15, 1, 2, 3)
+        assert len(ctx.ops) == 3
+
+    def test_delivery_updates_customer(self, tiny_tpcc):
+        db, registry, _ = tiny_tpcc
+        scale = TpccScale(warehouses=2, num_items=2000)
+        c_key = scale.customer_key(0, 0, 2)
+        ctx = BufferedContext(db)
+        registry.get("neworder")(ctx, 0, 0, c_key, 555, 0, 9, 1)
+        from repro.txn import apply_local_sets
+
+        apply_local_sets(db, ctx.local)
+        ctx2 = BufferedContext(db)
+        registry.get("delivery")(ctx2, 0, 3, 555)
+        apply_local_sets(db, ctx2.local)
+        orders = db.table("orders")
+        assert orders.read(orders.lookup(555), "o_carrier_id") == 3
+        cust = db.table("customer")
+        assert cust.read(cust.lookup(c_key), "c_delivery_cnt") == 1
+
+
+class TestYcsb:
+    def test_build_and_run_workload_a(self):
+        db, registry, gen = build_ycsb(2000, workload="a", seed=3)
+        config = LTPGConfig(
+            batch_size=64, delayed_columns=ycsb_delayed_columns()
+        )
+        engine = LTPGEngine(db, registry, config)
+        batch = gen.make_batch(64)
+        assign_tids(batch, 0)
+        result = engine.run_batch(batch)
+        # commutative updates + field-separated reads: everything commits
+        assert result.stats.committed == 64
+
+    def test_update_contention_without_commutativity(self):
+        db, registry, gen = build_ycsb(
+            2000, workload="a", seed=3, commutative_updates=False
+        )
+        engine = LTPGEngine(db, registry, LTPGConfig(batch_size=64))
+        batch = gen.make_batch(64)
+        assign_tids(batch, 0)
+        result = engine.run_batch(batch)
+        # alpha=2.5 focuses RMWs on the hottest key: most txns abort
+        assert result.stats.committed < 16
+
+    def test_workload_c_read_only(self):
+        db, registry, gen = build_ycsb(1000, workload="c", seed=3)
+        batch = gen.make_batch(20)
+        codes = {p for t in batch for p in t.params[::2]}
+        assert codes == {0}
+
+    def test_workload_e_scans(self):
+        db, registry, gen = build_ycsb(1000, workload="e", seed=3)
+        batch = gen.make_batch(20)
+        codes = {p for t in batch for p in t.params[::2]}
+        assert 3 in codes
+        engine = LTPGEngine(db, registry, LTPGConfig(batch_size=20))
+        assign_tids(batch, 0)
+        result = engine.run_batch(batch)
+        assert result.stats.committed == 20
+
+    def test_workload_d_inserts_fresh_keys(self):
+        db, registry, gen = build_ycsb(500, workload="d", seed=3)
+        batch = gen.make_batch(50)
+        inserted = [
+            t.params[2 * j + 1]
+            for t in batch
+            for j in range(len(t.params) // 2)
+            if t.params[2 * j] == 2
+        ]
+        assert inserted, "workload D must insert"
+        assert all(k >= 500 for k in inserted)
+        assert len(set(inserted)) == len(inserted)
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            build_ycsb(1000, workload="z")
+
+    def test_scan_length_bound(self):
+        with pytest.raises(WorkloadError):
+            build_ycsb(5, workload="e")
+
+    def test_all_five_workloads_defined(self):
+        assert set(WORKLOADS) == {"a", "b", "c", "d", "e"}
