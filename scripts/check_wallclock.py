@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Perf gate: fail if the execute phase regressed vs BENCH_wallclock.json.
+
+Measures the columnar path's execute-phase host time at batch 2^12
+(full-scale TPC-C 50/50, the committed baseline's configuration) and
+exits non-zero if it exceeds the committed number by more than the
+allowed factor (default 1.30, i.e. a >30%% regression).  The conflict
+phase rides along informationally but only the execute phase gates —
+it is the phase the columnar op path exists to accelerate.
+
+Wall-clock gates are machine-dependent; the committed baseline and a CI
+runner differ in absolute speed, so the gate can also be pointed at a
+locally regenerated baseline::
+
+    python benchmarks/bench_wallclock.py          # rewrite the baseline
+    python scripts/check_wallclock.py             # gate against it
+
+Opt-in from pytest via the ``perf`` marker: ``pytest -m perf``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+GATE_BATCH = 4096  # 2^12
+DEFAULT_ALLOWED_FACTOR = 1.30
+
+
+def check(
+    baseline_path: str,
+    allowed_factor: float = DEFAULT_ALLOWED_FACTOR,
+    rounds: int = 3,
+) -> int:
+    from repro.bench import wallclock
+
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    try:
+        base = baseline["seconds_per_batch"]["columnar"][str(GATE_BATCH)]
+    except KeyError:
+        print(
+            f"error: {baseline_path} has no columnar batch-{GATE_BATCH} entry; "
+            "regenerate it with: python benchmarks/bench_wallclock.py"
+        )
+        return 2
+    measured = wallclock.measure_path(
+        columnar=True, batch_size=GATE_BATCH, scale=1.0, rounds=rounds
+    )
+    limit = base["execute"] * allowed_factor
+    status = "OK" if measured["execute"] <= limit else "FAIL"
+    print(
+        f"execute phase @ batch {GATE_BATCH}: measured "
+        f"{measured['execute'] * 1e3:.1f} ms, baseline "
+        f"{base['execute'] * 1e3:.1f} ms, limit {limit * 1e3:.1f} ms "
+        f"(x{allowed_factor:.2f}) -> {status}"
+    )
+    print(
+        f"conflict phase (informational): measured "
+        f"{measured['conflict'] * 1e3:.2f} ms, baseline "
+        f"{base['conflict'] * 1e3:.2f} ms"
+    )
+    if status == "FAIL":
+        print(
+            "execute-phase host time regressed by more than "
+            f"{(allowed_factor - 1) * 100:.0f}% over the committed baseline"
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(root, "BENCH_wallclock.json"),
+        help="baseline JSON (default: the committed BENCH_wallclock.json)",
+    )
+    parser.add_argument(
+        "--allowed-factor",
+        type=float,
+        default=DEFAULT_ALLOWED_FACTOR,
+        help="fail when measured > baseline * this (default 1.30)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="measured batches (min is taken)"
+    )
+    args = parser.parse_args(argv)
+    return check(args.baseline, args.allowed_factor, args.rounds)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 """Command-line driver: ``python -m repro.bench <experiment> [options]``.
 
 Experiments: table2 table3 table4 table5 table6 table7 table8 table9
-fig6a fig6b fig7 all.
+fig6a fig6b fig7 ablations fullmix sweep calibration wallclock all.
 
 ``--scale N`` divides batch and item-table sizes by N (contention
 ratios are preserved; see EXPERIMENTS.md).  ``--scale 1`` reproduces
@@ -29,6 +29,7 @@ from repro.bench import (
     table7,
     table8,
     table9,
+    wallclock,
 )
 
 
@@ -49,6 +50,8 @@ def _runners(scale: float, rounds: int):
         "fullmix": lambda: fullmix.run(scale=scale, rounds=rounds),
         "calibration": lambda: calibration.run(scale=scale, rounds=rounds),
         "sweep": lambda: sweep.run(scale=scale, rounds=rounds),
+        # Host wall-clock (not simulated time); writes BENCH_wallclock.json.
+        "wallclock": lambda: wallclock.run_and_write(scale=scale, rounds=rounds),
     }
 
 
@@ -56,7 +59,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
     )
-    parser.add_argument("experiment", help="table2..table9, fig6a, fig6b, fig7, ablations, fullmix, sweep, calibration, all")
+    parser.add_argument("experiment", help="table2..table9, fig6a, fig6b, fig7, ablations, fullmix, sweep, calibration, wallclock, all")
     parser.add_argument(
         "--scale",
         type=float,

@@ -1,0 +1,182 @@
+"""Host wall-clock of the engine's phases: columnar vs reference op path.
+
+Every other harness in this package reports the *simulated* GPU clock,
+which is deliberately identical between the columnar op path and the
+retained reference implementation (``LTPGConfig.columnar_ops``; the
+differential tests in ``tests/test_columnar_equivalence.py`` pin that
+down).  This harness measures the one thing that *does* differ: how long
+the host takes to run each phase.  It sweeps batch sizes 2^10..2^16 on
+TPC-C 50/50 and reports per-batch seconds for both paths, plus the
+execute+conflict speedup — the headline number recorded in
+``BENCH_wallclock.json`` (see docs/ARCHITECTURE.md for how to read it).
+
+Methodology: per (batch size, path) a fresh benchmark database is built
+from the same seed, one warm-up batch is run, then ``rounds`` measured
+batches; the per-phase time is the elementwise *minimum* across rounds
+(the least-noise estimator for a deterministic computation on a shared
+host).  Unlike the simulated-clock harnesses, these numbers are
+machine-dependent — compare ratios, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import sys
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.common import ltpg_config, tpcc_bench
+from repro.bench.reporting import format_table
+
+#: The paper's batch-size sweep (Fig. 6a uses the same span).
+BATCH_SIZES: tuple[int, ...] = tuple(2**k for k in range(10, 17))
+
+#: Engine phases as reported by ``LTPGEngine.last_host_phase_s``.
+PHASES: tuple[str, ...] = ("execute", "conflict", "writeback", "assemble")
+
+#: The acceptance batch size (2^14, the paper's headline batch).
+HEADLINE_BATCH = 16_384
+
+
+@dataclass
+class WallclockResult:
+    """Per-batch host seconds by phase, for both op paths."""
+
+    #: path name -> batch size -> phase -> seconds per batch (min of rounds)
+    seconds: dict[str, dict[int, dict[str, float]]] = field(default_factory=dict)
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def exec_conflict(self, path: str, batch: int) -> float:
+        phases = self.seconds[path][batch]
+        return phases["execute"] + phases["conflict"]
+
+    def speedup(self, batch: int) -> float:
+        """Reference / columnar on the execute+conflict phases."""
+        return self.exec_conflict("reference", batch) / max(
+            self.exec_conflict("columnar", batch), 1e-12
+        )
+
+    def format(self) -> str:
+        headers = [
+            "batch size",
+            "columnar exec+conf (s)",
+            "reference exec+conf (s)",
+            "speedup",
+        ]
+        rows = [
+            [
+                b,
+                self.exec_conflict("columnar", b),
+                self.exec_conflict("reference", b),
+                f"{self.speedup(b):.2f}x",
+            ]
+            for b in sorted(self.seconds.get("columnar", {}))
+        ]
+        return format_table(
+            "Host wall-clock per batch: columnar vs reference op path "
+            "(TPC-C 50/50)",
+            headers,
+            rows,
+            note="speedup = reference / columnar on execute+conflict; "
+            "simulated-time results are identical by construction.",
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "meta": self.meta,
+            "batch_sizes": sorted(self.seconds.get("columnar", {})),
+            "seconds_per_batch": {
+                path: {str(b): phases for b, phases in by_batch.items()}
+                for path, by_batch in self.seconds.items()
+            },
+            "speedup_execute_conflict": {
+                str(b): round(self.speedup(b), 3)
+                for b in sorted(self.seconds.get("columnar", {}))
+                if b in self.seconds.get("reference", {})
+            },
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def measure_path(
+    columnar: bool,
+    batch_size: int,
+    scale: float = 1.0,
+    rounds: int = 2,
+    warehouses: int = 32,
+    neworder_pct: int = 50,
+    seed: int = 7,
+) -> dict[str, float]:
+    """Min-of-rounds per-phase host seconds for one op path.
+
+    Builds a fresh database (both paths see byte-identical transaction
+    streams for a given seed) and discards one warm-up batch.
+    """
+    bench = tpcc_bench(
+        warehouses, neworder_pct=neworder_pct, batch_size=batch_size,
+        scale=scale, seed=seed,
+    )
+    config = dataclasses.replace(
+        ltpg_config(bench.batch_size), columnar_ops=columnar
+    )
+    engine = bench.engine(config)
+    engine.run_batch(bench.generator.make_batch(bench.batch_size))  # warm-up
+    best: dict[str, float] = {}
+    for _ in range(max(rounds, 1)):
+        engine.run_batch(bench.generator.make_batch(bench.batch_size))
+        for phase in PHASES:
+            t = engine.last_host_phase_s.get(phase, 0.0)
+            if phase not in best or t < best[phase]:
+                best[phase] = t
+    best["total"] = sum(best[p] for p in PHASES)
+    return best
+
+
+def run(
+    scale: float = 1.0,
+    rounds: int = 2,
+    batch_sizes: tuple[int, ...] = BATCH_SIZES,
+    warehouses: int = 32,
+    neworder_pct: int = 50,
+    seed: int = 7,
+) -> WallclockResult:
+    result = WallclockResult()
+    result.meta = {
+        "workload": f"tpcc neworder={neworder_pct}%",
+        "scale": scale,
+        "rounds": rounds,
+        "warehouses": warehouses,
+        "seed": seed,
+        "estimator": "min over rounds, one warm-up batch discarded",
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+    for path, columnar in (("columnar", True), ("reference", False)):
+        by_batch: dict[int, dict[str, float]] = {}
+        for batch in batch_sizes:
+            by_batch[batch] = measure_path(
+                columnar, batch, scale=scale, rounds=rounds,
+                warehouses=warehouses, neworder_pct=neworder_pct, seed=seed,
+            )
+        result.seconds[path] = by_batch
+    return result
+
+
+def run_and_write(
+    scale: float = 1.0,
+    rounds: int = 2,
+    path: str = "BENCH_wallclock.json",
+    **kwargs,
+) -> WallclockResult:
+    """CLI entry point: run the sweep and emit the JSON trajectory."""
+    result = run(scale=scale, rounds=rounds, **kwargs)
+    result.write(path)
+    return result

@@ -46,6 +46,13 @@ class LTPGConfig:
     pipelined: bool = False
     memory_mode: MemoryMode = MemoryMode.AUTO
 
+    #: Host implementation detail, not a paper toggle: consume the
+    #: execute-phase op stream through the columnar NumPy path (True) or
+    #: the retained per-op reference loop (False).  Both produce
+    #: identical batch outcomes and simulated timings; the reference
+    #: path exists for differential testing and the wallclock bench.
+    columnar_ops: bool = True
+
     #: Columns managed by delayed updates: {(table, column), ...}.  These
     #: must be accessed only through ADD operations within a batch.
     delayed_columns: frozenset[tuple[str, str]] = frozenset()

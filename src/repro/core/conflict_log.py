@@ -56,7 +56,10 @@ class ConflictLog:
             dtype=np.int64,
         )
         self._touched: list[np.ndarray] = []
-        self._insert_winner: dict[tuple[int, int], int] = {}
+        # Insert reservations, sorted by (table, key): winner per pair.
+        self._ins_tables = np.empty(0, dtype=np.int64)
+        self._ins_keys = np.empty(0, dtype=np.int64)
+        self._ins_tids = np.empty(0, dtype=np.int64)
         self._heats: dict[int, TableHeat] = {}
 
     # -- batch lifecycle -----------------------------------------------------
@@ -69,10 +72,13 @@ class ConflictLog:
         np.cumsum(self._rows * self._groups, out=self._base[1:])
         total = int(self._base[-1])
         if total > self._min_read.size:
-            self._min_read = np.full(total, NO_TID, dtype=np.int64)
-            self._min_write = np.full(total, NO_TID, dtype=np.int64)
+            # Grow with slack: tables gain rows every batch (inserts), so
+            # sizing exactly would reallocate the minima arrays per batch.
+            capacity = max(total + total // 4, 1024)
+            self._min_read = np.full(capacity, NO_TID, dtype=np.int64)
+            self._min_write = np.full(capacity, NO_TID, dtype=np.int64)
         self._touched = []
-        self._insert_winner = {}
+        self._clear_inserts()
 
     def end_batch(self) -> None:
         """Reset every touched minimum back to the sentinel."""
@@ -81,7 +87,12 @@ class ConflictLog:
             self._min_read[keys] = NO_TID
             self._min_write[keys] = NO_TID
         self._touched = []
-        self._insert_winner = {}
+        self._clear_inserts()
+
+    def _clear_inserts(self) -> None:
+        self._ins_tables = np.empty(0, dtype=np.int64)
+        self._ins_keys = np.empty(0, dtype=np.int64)
+        self._ins_tids = np.empty(0, dtype=np.int64)
 
     # -- key encoding -----------------------------------------------------------
     def encode(self, table_ids: np.ndarray, rows: np.ndarray, groups: np.ndarray) -> np.ndarray:
@@ -145,8 +156,22 @@ class ConflictLog:
         tid_sorted = tids[order]
         first = np.ones(order.size, dtype=bool)
         first[1:] = (t_sorted[1:] != t_sorted[:-1]) | (k_sorted[1:] != k_sorted[:-1])
-        for t, k, tid in zip(t_sorted[first], k_sorted[first], tid_sorted[first]):
-            self._insert_winner[(int(t), int(k))] = int(tid)
+        t_new = t_sorted[first]
+        k_new = k_sorted[first]
+        tid_new = tid_sorted[first]
+        if self._ins_keys.size:
+            # A later registration call overrides an earlier winner for
+            # the same (table, key): stable-sort old-then-new and keep
+            # the *last* entry of each pair.
+            t_all = np.concatenate((self._ins_tables, t_new))
+            k_all = np.concatenate((self._ins_keys, k_new))
+            tid_all = np.concatenate((self._ins_tids, tid_new))
+            merge = np.lexsort((np.arange(t_all.size), k_all, t_all))
+            t_all, k_all, tid_all = t_all[merge], k_all[merge], tid_all[merge]
+            last = np.ones(t_all.size, dtype=bool)
+            last[:-1] = (t_all[1:] != t_all[:-1]) | (k_all[1:] != k_all[:-1])
+            t_new, k_new, tid_new = t_all[last], k_all[last], tid_all[last]
+        self._ins_tables, self._ins_keys, self._ins_tids = t_new, k_new, tid_new
         if ctx is not None:
             # Insert reservations hash the new key into a per-table
             # insert region sized for the batch (the engine grows the
@@ -165,15 +190,31 @@ class ConflictLog:
         Standard tables: one slot per key.  Popular tables: ``s_u``
         sub-slots per key, chosen by ``TID mod s_u`` (the paper's
         re-hash), which shortens per-address chains by ``s_u``.
+
+        Callers only feed the result to ``collision_profile`` (a pure
+        read), so the one-slot-per-key cases return ``keys`` itself
+        without allocating a copy.
         """
         if not self.dynamic_buckets or not self._heats:
-            return keys * 1  # copy; one slot per key
+            return keys  # one slot per key; read-only use, no copy
         sizes = np.ones(self._db.num_tables, dtype=np.int64)
         for table_id, heat in self._heats.items():
             sizes[table_id] = heat.bucket_size
         s_u = sizes[table_ids]
-        # Unique slot ids: stretch each key by its table's s_u.
-        return keys * s_u.max() + (tids % s_u)
+        smax = int(s_u.max())
+        if smax == 1:
+            return keys
+        # Unique slot ids: stretch each key by the largest s_u.  Guard
+        # the stretch against silent int64 wrap-around for huge key
+        # spaces — wrapped addresses would alias unrelated buckets and
+        # corrupt the contention profile.
+        if keys.size and int(keys.max()) > (np.iinfo(np.int64).max - smax) // smax:
+            raise TransactionError(
+                "conflict-log slot addressing overflows int64: key space "
+                f"{int(keys.max())} x bucket size {smax} exceeds 2^63-1; "
+                "shrink the table/group key space or disable dynamic_buckets"
+            )
+        return keys * smax + (tids % s_u)
 
     # -- detection-phase queries ------------------------------------------------
     def min_read(self, keys: np.ndarray) -> np.ndarray:
@@ -183,16 +224,33 @@ class ConflictLog:
         return self._min_write[keys]
 
     def insert_winner(self, table_id: int, key: int) -> int:
-        return self._insert_winner.get((table_id, key), NO_TID)
+        lo = int(np.searchsorted(self._ins_tables, table_id, side="left"))
+        hi = int(np.searchsorted(self._ins_tables, table_id, side="right"))
+        pos = lo + int(np.searchsorted(self._ins_keys[lo:hi], key))
+        if pos < hi and int(self._ins_keys[pos]) == key:
+            return int(self._ins_tids[pos])
+        return NO_TID
 
     def insert_winners(
         self, table_ids: np.ndarray, insert_keys: np.ndarray
     ) -> np.ndarray:
+        """Winning TID per queried (table, key) pair — a sorted-array
+        lookup over the reservation arrays built at registration."""
         out = np.full(table_ids.size, NO_TID, dtype=np.int64)
-        for i in range(table_ids.size):
-            out[i] = self._insert_winner.get(
-                (int(table_ids[i]), int(insert_keys[i])), NO_TID
-            )
+        if self._ins_keys.size == 0 or table_ids.size == 0:
+            return out
+        for table_id in np.unique(table_ids):
+            lo = int(np.searchsorted(self._ins_tables, table_id, side="left"))
+            hi = int(np.searchsorted(self._ins_tables, table_id, side="right"))
+            if lo == hi:
+                continue
+            mask = table_ids == table_id
+            seg = self._ins_keys[lo:hi]
+            pos = np.searchsorted(seg, insert_keys[mask])
+            in_seg = pos < seg.size
+            safe = np.minimum(pos, seg.size - 1)
+            hit = in_seg & (seg[safe] == insert_keys[mask])
+            out[mask] = np.where(hit, self._ins_tids[lo:hi][safe], NO_TID)
         return out
 
     # -- memory accounting (Table VIII) --------------------------------------

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.gpusim.kernel import KernelContext
 from repro.storage.database import Database
+from repro.txn.operations import column_interner_size, intern_column
 
 #: Shuffle/prefix-sum instructions per delta in the warp-level merge
 #: (log2(32) rounds of shfl + add, plus mask bookkeeping).
@@ -45,10 +46,31 @@ class DelayedUpdater:
         self._delayed: frozenset[tuple[int, str]] = frozenset(
             (database.table_id(table), column) for table, column in delayed_columns
         ) if enabled else frozenset()
+        # Dense (table, interned-column) -> delayed? lookup for the
+        # columnar hot path; sized to the interner and rebuilt lazily
+        # when new column names appear.
+        self._lut: np.ndarray | None = None
 
     def is_delayed(self, table_id: int, column: str) -> bool:
         """Does this column bypass conflict detection via delayed adds?"""
         return (table_id, column) in self._delayed
+
+    def delayed_mask(self, table_ids: np.ndarray, col_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_delayed` over interned column ids."""
+        if not self._delayed:
+            return np.zeros(table_ids.size, dtype=bool)
+        if self._lut is None or self._lut.shape[1] < column_interner_size():
+            pairs = [
+                (table_id, intern_column(column))
+                for table_id, column in self._delayed
+            ]
+            lut = np.zeros(
+                (self._db.num_tables, column_interner_size()), dtype=bool
+            )
+            for table_id, col_id in pairs:
+                lut[table_id, col_id] = True
+            self._lut = lut
+        return self._lut[table_ids, col_ids]
 
     @property
     def columns(self) -> frozenset[tuple[int, str]]:

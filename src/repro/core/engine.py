@@ -23,6 +23,8 @@ transactions keep their TIDs and are re-queued by the caller (usually a
 
 from __future__ import annotations
 
+import time
+from array import array
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -42,9 +44,9 @@ from repro.storage.database import Database
 from repro.storage.wal import BatchLog
 from repro.txn.batch import BatchScheduler
 from repro.txn.context import BufferedContext, LocalSets, apply_local_sets
-from repro.txn.decompose import plan
-from repro.txn.operations import OpKind
-from repro.txn.procedures import ProcedureRegistry
+from repro.txn.decompose import plan, plan_arrays
+from repro.txn.operations import NUM_OP_KINDS, OP_FIELDS, OpKind, column_name
+from repro.txn.procedures import Procedure, ProcedureRegistry
 from repro.txn.transaction import Transaction, TxnStatus
 
 # Per-operation hardware cost shape (events per op in the execute phase).
@@ -82,6 +84,14 @@ class BatchResult:
             f"{self.stats.aborted} aborted, {self.stats.logic_aborted} "
             f"logic-aborted of {self.stats.num_txns}"
         ]
+        if self.stats.abort_reasons:
+            # Same counters the stats carry; per-txn lines below show the
+            # same reasons so the two views always agree.
+            summary = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.stats.abort_reasons.items())
+            )
+            lines.append(f"  abort reasons: {summary}")
         for label, group in (
             ("committed", self.committed),
             ("aborted", self.aborted),
@@ -129,6 +139,15 @@ class LTPGEngine:
         )
         self.batch_log = BatchLog()
         self.last_heats: dict[int, TableHeat] = {}
+        # Host wall-clock spent in each phase of the most recent batch
+        # (seconds).  Deliberately *not* part of BatchStats: the
+        # simulated-time stats must stay byte-identical between the
+        # columnar and reference op paths, and host timings never are.
+        self.last_host_phase_s: dict[str, float] = {}
+        # Procedure lookups cached across batches; invalidated only when
+        # the registry version changes (registration bumps it).
+        self._proc_cache: dict[str, Procedure] = {}
+        self._proc_cache_version = -1
         # Streams; a pipelined runner points these at distinct streams.
         self.h2d_stream = "stream0"
         self.compute_stream = "stream0"
@@ -160,6 +179,7 @@ class LTPGEngine:
 
         # -- phase 1: execute -------------------------------------------
         exec_data = _ExecutionData()
+        host_t0 = time.perf_counter()
         with device.kernel(
             "execute", threads=max(1, len(transactions)), stream=self.compute_stream
         ) as ctx:
@@ -167,6 +187,7 @@ class LTPGEngine:
         exec_ns = device.profiler.entries[-1].duration_ns
         exec_kernel_stats = ctx.stats
         self._phase_sync()
+        host_t1 = time.perf_counter()
 
         # -- phase 2: conflict detection --------------------------------
         with device.kernel(
@@ -177,6 +198,7 @@ class LTPGEngine:
             flags = self._conflict_phase(transactions, exec_data, ctx)
         conflict_ns = device.profiler.entries[-1].duration_ns
         self._phase_sync()
+        host_t2 = time.perf_counter()
 
         # -- phase 3: write-back -----------------------------------------
         committed_mask = commit_mask(flags, self.config.logical_reordering)
@@ -190,6 +212,7 @@ class LTPGEngine:
             )
         writeback_ns = device.profiler.entries[-1].duration_ns
         self._phase_sync()
+        host_t3 = time.perf_counter()
 
         # -- device -> host: read/write sets + conflict flags -----------
         compute_done = device.create_event("compute_done")
@@ -224,6 +247,12 @@ class LTPGEngine:
                 "writeback": writeback_ns,
             },
         )
+        self.last_host_phase_s = {
+            "execute": host_t1 - host_t0,
+            "conflict": host_t2 - host_t1,
+            "writeback": host_t3 - host_t2,
+            "assemble": time.perf_counter() - host_t3,
+        }
         result.stats.rwset_ns = rwset_ns
         result.stats.registered_reads = int(exec_data.read_keys.size)
         result.stats.registered_writes = int(exec_data.write_keys.size)
@@ -246,13 +275,21 @@ class LTPGEngine:
         )
 
     # ------------------------------------------------------------------
+    def _procedure_cache(self) -> dict[str, Procedure]:
+        """Engine-level procedure lookup cache, rebuilt only when the
+        registry actually changes (not once per batch)."""
+        version = self.procedures.version
+        if version != self._proc_cache_version:
+            self._proc_cache = {}
+            self._proc_cache_version = version
+        return self._proc_cache
+
     def _execute_phase(self, transactions, data: "_ExecutionData", ctx) -> None:
         """Run procedures, buffer effects, register TIDs."""
         db = self.database
         delayed = self.delayed
-        group_of = self.flags.group_of
-        proc_cache: dict[str, object] = {}
-        table_txns: Counter = Counter()
+        delayed_set = delayed.columns  # frozenset[(table_id, column)]
+        proc_cache = self._procedure_cache()
 
         for txn in transactions:
             txn.reset_for_execution()
@@ -279,8 +316,10 @@ class LTPGEngine:
             # merged by the delayed updater at write-back, not by
             # apply_local_sets.
             delayed_locs = [
-                loc for loc in local.adds if delayed.is_delayed(loc[0], loc[2])
-            ]
+                loc
+                for loc in local.adds
+                if (loc[0], loc[2]) in delayed_set
+            ] if delayed_set and local.adds else []
             if delayed_locs:
                 data.delayed_adds_by_txn[txn.tid] = [
                     (t, row, col, local.adds.pop((t, row, col)))
@@ -290,12 +329,211 @@ class LTPGEngine:
             if local_ctx.ranges:
                 data.ranges_by_tid[txn.tid] = local_ctx.ranges
 
+        # Collect op arrays + per-op costs, skipping logic aborts for
+        # registration but keeping their cost (the lanes did the work).
+        if self.config.columnar_ops:
+            table_txns, touched_rows = self._collect_columnar(transactions, data, ctx)
+        else:
+            table_txns, touched_rows = self._collect_reference(transactions, data, ctx)
+
+        # Popularity verdicts drive this batch's bucket sizes.
+        self.last_heats = self.hotspot.measure(table_txns)
+        self.conflict_log.begin_batch(self.last_heats)
+
+        # Unified memory: fault in the pages backing accessed rows.
+        # Pages are touched in sorted order so the LRU tracker sees the
+        # same sequence whichever collector built the row sets.
+        if self.memory_plan.mode is MemoryMode.UNIFIED:
+            faults = 0
+            for table_id in sorted(touched_rows):
+                rows = touched_rows[table_id]
+                table = db.table_by_id(table_id)
+                row_bytes = table.schema.row_bytes
+                rows_arr = (
+                    rows
+                    if isinstance(rows, np.ndarray)
+                    else np.fromiter(rows, dtype=np.int64, count=len(rows))
+                )
+                pages = np.unique(
+                    rows_arr * row_bytes // self.device.config.um_page_bytes
+                )
+                faults += self.device.memory.pages.touch(table.name, pages)
+            ctx.add_page_faults(faults)
+
+        # TID registration (the execution-phase atomics).
+        data.read_keys = self.conflict_log.encode(
+            data.read_table_arr, data.read_row_arr, data.read_group_arr
+        )
+        data.write_keys = self.conflict_log.encode(
+            data.write_table_arr, data.write_row_arr, data.write_group_arr
+        )
+        ctx.add_instructions(
+            _REGISTER_INSTRUCTIONS
+            * (data.read_keys.size + data.write_keys.size + data.ins_key_arr.size)
+        )
+        self.conflict_log.register_reads(
+            data.read_keys, data.read_tid_arr, data.read_table_arr, ctx
+        )
+        self.conflict_log.register_writes(
+            data.write_keys, data.write_tid_arr, data.write_table_arr, ctx
+        )
+        self.conflict_log.register_inserts(
+            data.ins_table_arr, data.ins_key_arr, data.ins_tid_arr, ctx
+        )
+
+    # ------------------------------------------------------------------
+    def _collect_columnar(self, transactions, data: "_ExecutionData", ctx):
+        """Batch-wide columnar op collection.
+
+        One flat ``(n_ops, 6)`` int64 matrix feeds everything: warp
+        planning, ``np.bincount`` cost accounting, lexsort reservation
+        dedup, touched-page collection, and table popularity counts.
+        Returns ``(table_txns, touched_rows)`` for the shared tail.
+        """
+        db = self.database
+        n = len(transactions)
+        counts = np.empty(n, dtype=np.int64)
+        tids = np.empty(n, dtype=np.int64)
+        registers = np.empty(n, dtype=bool)
+        flat = array("q")
+        for i, txn in enumerate(transactions):
+            buf = txn.ops.buffer
+            flat += buf  # one C-level memcpy per transaction
+            counts[i] = len(buf) // OP_FIELDS
+            tids[i] = txn.tid
+            registers[i] = txn.status is TxnStatus.EXECUTED
+        total = len(flat) // OP_FIELDS
+        if total:
+            # Zero-copy view: `flat` is local and never grows past here.
+            mat = np.frombuffer(flat, dtype=np.int64).reshape(total, OP_FIELDS)
+        else:
+            mat = np.empty((0, OP_FIELDS), dtype=np.int64)
+        kind = mat[:, 0]
+        table = mat[:, 1]
+        row = mat[:, 2]
+        col = mat[:, 3]
+        key = mat[:, 5]
+        op_txn = np.repeat(np.arange(n, dtype=np.int64), counts)
+
+        # Warp planning over the whole batch (grouped vs naive).
+        exec_plan = plan_arrays(kind, table, counts, self.config.adaptive_warps)
+        ctx.add_divergent_branches(exec_plan.divergent_branches)
+
+        # Per-op hardware costs, batch-wide by kind.
+        kind_counts = np.bincount(kind, minlength=NUM_OP_KINDS)
+        n_reads = int(kind_counts[OpKind.READ])
+        n_inserts = int(kind_counts[OpKind.INSERT])
+        n_rmw = total - n_reads - n_inserts  # WRITEs + ADDs
+        ctx.add_instructions(_OP_INSTRUCTIONS * total)
+        ctx.add_global_reads(
+            _READ_GLOBAL_READS * n_reads + _WRITE_GLOBAL_READS * n_rmw
+        )
+        ctx.add_global_writes(
+            _INSERT_GLOBAL_WRITES * n_inserts + _WRITE_GLOBAL_WRITES * n_rmw
+        )
+
+        # Range predicates register for phantom checks; B-tree descents
+        # cost their height.  Few transactions carry ranges, so this
+        # stays a loop over just those.
+        range_rows: list[tuple[int, int, int, int, int]] = []
+        if data.ranges_by_tid:
+            for i, txn in enumerate(transactions):
+                if not registers[i]:
+                    continue
+                for table_id, lo, hi in data.ranges_by_tid.get(txn.tid, ()):
+                    range_rows.append((table_id, lo, hi, txn.tid, i))
+                    ordered = db.table_by_id(table_id).ordered
+                    if ordered is not None:  # B-tree descent per range
+                        ctx.add_global_reads(ordered.height)
+        ra = np.asarray(range_rows, dtype=np.int64).reshape(len(range_rows), 5)
+        data.range_table_arr = ra[:, 0]
+        data.range_lo_arr = ra[:, 1]
+        data.range_hi_arr = ra[:, 2]
+        data.range_tid_arr = ra[:, 3]
+        data.range_txn_arr = ra[:, 4]
+
+        # Distinct (txn, table) pairs -> per-table accessing-txn counts.
+        num_tables = db.num_tables
+        pairs = op_txn * num_tables + table
+        if range_rows:
+            pairs = np.concatenate((pairs, ra[:, 4] * num_tables + ra[:, 0]))
+        per_table = np.bincount(
+            np.unique(pairs) % num_tables, minlength=num_tables
+        )
+        table_txns = {int(t): int(c) for t, c in enumerate(per_table) if c}
+
+        # Rows with real slots, per table (unified-memory page faults).
+        touched_rows: dict[int, np.ndarray] = {}
+        if self.memory_plan.mode is MemoryMode.UNIFIED:
+            has_row = row >= 0
+            t_ok = table[has_row]
+            r_ok = row[has_row]
+            for table_id in np.unique(t_ok):
+                touched_rows[int(table_id)] = np.unique(r_ok[t_ok == table_id])
+
+        # Insert reservations (registering transactions only).
+        reg_op = registers[op_txn]
+        ins_mask = reg_op & (kind == OpKind.INSERT)
+        data.ins_table_arr = table[ins_mask]
+        data.ins_key_arr = key[ins_mask]
+        data.ins_txn_arr = op_txn[ins_mask]
+        data.ins_tid_arr = tids[data.ins_txn_arr]
+
+        # Delayed-column discipline: within a batch those columns may
+        # only be touched through ADD (checked before the own-insert
+        # row filter, exactly like the reference loop).
+        non_insert = reg_op & (kind != OpKind.INSERT)
+        is_add = kind == OpKind.ADD
+        if self.delayed.columns:
+            delayed_ops = self.delayed.delayed_mask(table, col)
+            bad = non_insert & delayed_ops & ~is_add
+            if bad.any():
+                offender = column_name(int(col[np.flatnonzero(bad)[0]]))
+                raise TransactionError(
+                    f"column {offender!r} is delayed-update managed and "
+                    f"may only be accessed with ADD in a batch"
+                )
+            skip_delayed = delayed_ops & is_add
+        else:
+            skip_delayed = np.zeros(total, dtype=bool)
+
+        # Reservation dedup: one (txn, table, row, group) per side.
+        # Rows < 0 are reads of the transaction's own insert — the
+        # insert reservation already guards that key.
+        candidate = non_insert & ~skip_delayed & (row >= 0)
+        group = self.flags.group_lookup(table, col)
+        read_sel = candidate & ((kind == OpKind.READ) | is_add)
+        write_sel = candidate & ((kind == OpKind.WRITE) | is_add)
+        (
+            data.read_table_arr,
+            data.read_row_arr,
+            data.read_group_arr,
+            data.read_txn_arr,
+        ) = _dedup_reservations(op_txn, table, row, group, read_sel)
+        data.read_tid_arr = tids[data.read_txn_arr]
+        (
+            data.write_table_arr,
+            data.write_row_arr,
+            data.write_group_arr,
+            data.write_txn_arr,
+        ) = _dedup_reservations(op_txn, table, row, group, write_sel)
+        data.write_tid_arr = tids[data.write_txn_arr]
+        return table_txns, touched_rows
+
+    # ------------------------------------------------------------------
+    def _collect_reference(self, transactions, data: "_ExecutionData", ctx):
+        """Per-op reference collector (the seed implementation),
+        retained behind ``config.columnar_ops=False`` for differential
+        testing and as the wallclock-bench baseline."""
+        db = self.database
+        delayed = self.delayed
+        group_of = self.flags.group_of
+        table_txns: Counter = Counter()
+
         # Warp planning over the whole batch (grouped vs naive).
         exec_plan = plan(transactions, self.config.adaptive_warps)
         ctx.add_divergent_branches(exec_plan.divergent_branches)
 
-        # Collect op arrays + per-op costs, skipping logic aborts for
-        # registration but keeping their cost (the lanes did the work).
         touched_rows: dict[int, set[int]] = {}
         for idx, txn in enumerate(transactions):
             registers = txn.status is TxnStatus.EXECUTED
@@ -379,44 +617,7 @@ class LTPGEngine:
             for table_id in tables_seen:
                 table_txns[table_id] += 1
         data.finalize()
-
-        # Popularity verdicts drive this batch's bucket sizes.
-        self.last_heats = self.hotspot.measure(dict(table_txns))
-        self.conflict_log.begin_batch(self.last_heats)
-
-        # Unified memory: fault in the pages backing accessed rows.
-        if self.memory_plan.mode is MemoryMode.UNIFIED:
-            faults = 0
-            for table_id, rows in touched_rows.items():
-                table = db.table_by_id(table_id)
-                row_bytes = table.schema.row_bytes
-                pages = {
-                    (row * row_bytes) // self.device.config.um_page_bytes
-                    for row in rows
-                }
-                faults += self.device.memory.pages.touch(table.name, pages)
-            ctx.add_page_faults(faults)
-
-        # TID registration (the execution-phase atomics).
-        data.read_keys = self.conflict_log.encode(
-            data.read_table_arr, data.read_row_arr, data.read_group_arr
-        )
-        data.write_keys = self.conflict_log.encode(
-            data.write_table_arr, data.write_row_arr, data.write_group_arr
-        )
-        ctx.add_instructions(
-            _REGISTER_INSTRUCTIONS
-            * (data.read_keys.size + data.write_keys.size + data.ins_key_arr.size)
-        )
-        self.conflict_log.register_reads(
-            data.read_keys, data.read_tid_arr, data.read_table_arr, ctx
-        )
-        self.conflict_log.register_writes(
-            data.write_keys, data.write_tid_arr, data.write_table_arr, ctx
-        )
-        self.conflict_log.register_inserts(
-            data.ins_table_arr, data.ins_key_arr, data.ins_tid_arr, ctx
-        )
+        return dict(table_txns), touched_rows
 
     # ------------------------------------------------------------------
     def _conflict_phase(self, transactions, data: "_ExecutionData", ctx) -> ConflictFlags:
@@ -582,22 +783,25 @@ class LTPGEngine:
             phase_ns=phase_ns,
         )
         witness: list[tuple[int, set, set]] = []
-        reads_by_txn: dict[int, set] = {}
-        writes_by_txn: dict[int, set] = {}
-        for i in range(data.read_txn_arr.size):
-            reads_by_txn.setdefault(int(data.read_txn_arr[i]), set()).add(
-                int(data.read_keys[i])
-            )
-        for i in range(data.write_txn_arr.size):
-            writes_by_txn.setdefault(int(data.write_txn_arr[i]), set()).add(
-                int(data.write_keys[i])
-            )
+        # Witness sets are only needed for committed transactions, so
+        # group keys by txn with one argsort + unique-slice pass instead
+        # of per-element dict/set churn.
+        committed_arr = np.asarray(committed_mask, dtype=bool)
+        reads_by_txn = _grouped_key_sets(
+            data.read_txn_arr, data.read_keys, committed_arr
+        )
+        writes_by_txn = _grouped_key_sets(
+            data.write_txn_arr, data.write_keys, committed_arr
+        )
         for idx, txn in enumerate(transactions):
             stats.total_by_proc[txn.procedure_name] += 1
             if txn.status is TxnStatus.LOGIC_ABORTED:
+                # Keep stats and explain() in agreement: both read the
+                # reason off the transaction itself.
+                txn.abort_reason = txn.abort_reason or "logic"
                 logic_aborted.append(txn)
                 stats.logic_aborted += 1
-                stats.abort_reasons["logic"] += 1
+                stats.abort_reasons[txn.abort_reason] += 1
             elif committed_mask[idx]:
                 txn.status = TxnStatus.COMMITTED
                 committed.append(txn)
@@ -659,6 +863,56 @@ class LTPGEngine:
         return self.process(scheduler, max_batches=max_batches)
 
 
+def _dedup_reservations(op_txn, table, row, group, mask):
+    """One reservation per (txn, table, row, group) among masked ops.
+
+    Lexsort the candidates and keep each first occurrence.  Every kept
+    field is part of the sort key, so which duplicate survives does not
+    matter; downstream consumers (atomicMin registration, per-txn
+    bincounts, witness sets) are all order-insensitive, which is what
+    lets this sorted dedup replace the reference loop's first-seen sets
+    without changing any batch outcome.
+    """
+    t = op_txn[mask]
+    if t.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    tb = table[mask]
+    r = row[mask]
+    g = group[mask]
+    order = np.lexsort((g, r, tb, t))
+    t, tb, r, g = t[order], tb[order], r[order], g[order]
+    keep = np.empty(t.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = (
+        (t[1:] != t[:-1])
+        | (tb[1:] != tb[:-1])
+        | (r[1:] != r[:-1])
+        | (g[1:] != g[:-1])
+    )
+    return tb[keep], r[keep], g[keep], t[keep]
+
+
+def _grouped_key_sets(txn_arr, key_arr, committed_mask) -> dict[int, set]:
+    """{txn index -> set(conflict keys)} over committed transactions,
+    built from argsort + np.unique slice boundaries."""
+    if txn_arr.size == 0:
+        return {}
+    mask = committed_mask[txn_arr]
+    t = txn_arr[mask]
+    if t.size == 0:
+        return {}
+    k = key_arr[mask]
+    order = np.argsort(t, kind="stable")
+    t = t[order]
+    k = k[order]
+    uniq, starts = np.unique(t, return_index=True)
+    ends = np.append(starts[1:], t.size)
+    return {
+        int(u): set(k[s:e].tolist()) for u, s, e in zip(uniq, starts, ends)
+    }
+
+
 class _ExecutionData:
     """Scratch arrays shared between the three phases of one batch."""
 
@@ -687,6 +941,29 @@ class _ExecutionData:
         self.ranges_by_tid: dict[int, list[tuple[int, int, int]]] = {}
         self.read_keys = np.empty(0, dtype=np.int64)
         self.write_keys = np.empty(0, dtype=np.int64)
+        # The *_arr views start empty so the columnar collector can set
+        # them directly; the reference collector overwrites them via
+        # finalize() from the append lists above.
+        empty = lambda: np.empty(0, dtype=np.int64)
+        self.read_table_arr = empty()
+        self.read_row_arr = empty()
+        self.read_group_arr = empty()
+        self.read_tid_arr = empty()
+        self.read_txn_arr = empty()
+        self.write_table_arr = empty()
+        self.write_row_arr = empty()
+        self.write_group_arr = empty()
+        self.write_tid_arr = empty()
+        self.write_txn_arr = empty()
+        self.ins_table_arr = empty()
+        self.ins_key_arr = empty()
+        self.ins_tid_arr = empty()
+        self.ins_txn_arr = empty()
+        self.range_table_arr = empty()
+        self.range_lo_arr = empty()
+        self.range_hi_arr = empty()
+        self.range_tid_arr = empty()
+        self.range_txn_arr = empty()
 
     def finalize(self) -> None:
         """Freeze the Python lists into NumPy arrays."""

@@ -15,8 +15,11 @@ layer is columnar, so a committed write to ``W_YTD`` cannot clobber
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import StorageError
 from repro.storage.database import Database
+from repro.txn.operations import column_interner_size, intern_column
 
 #: Group id shared by all unflagged columns of a table.
 DEFAULT_GROUP = 0
@@ -34,6 +37,7 @@ class FlagGroups:
         self.enabled = enabled
         self._group_of: list[dict[str, int]] = []
         self._num_groups: list[int] = []
+        self._lut: np.ndarray | None = None
         split_by_table: dict[str, list[str]] = {}
         if enabled:
             for table, column in sorted(split_columns):
@@ -56,6 +60,26 @@ class FlagGroups:
         """The conflict group of ``column`` (DEFAULT_GROUP if unflagged
         or splitting is disabled)."""
         return self._group_of[table_id].get(column, DEFAULT_GROUP)
+
+    def group_lookup(self, table_ids: np.ndarray, col_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`group_of` over interned column ids."""
+        if not any(self._group_of):
+            return np.zeros(table_ids.size, dtype=np.int64)
+        if self._lut is None or self._lut.shape[1] < column_interner_size():
+            pairs = [
+                (t, intern_column(column), group)
+                for t, mapping in enumerate(self._group_of)
+                for column, group in mapping.items()
+            ]
+            lut = np.full(
+                (len(self._group_of), column_interner_size()),
+                DEFAULT_GROUP,
+                dtype=np.int64,
+            )
+            for t, col_id, group in pairs:
+                lut[t, col_id] = group
+            self._lut = lut
+        return self._lut[table_ids, col_ids]
 
     def num_groups(self, table_id: int) -> int:
         """How many conflict groups this table's rows fan out into."""

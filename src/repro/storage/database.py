@@ -21,18 +21,28 @@ class Database:
         self.name = name
         self._tables: list[Table] = []
         self._by_name: dict[str, int] = {}
+        self._resolved: dict[str, tuple[int, Table]] = {}
 
     def create_table(self, schema: Schema, capacity: int = 1024) -> Table:
         if schema.table_name in self._by_name:
             raise StorageError(f"table {schema.table_name!r} already exists")
         table = Table(schema, capacity=capacity)
         self._by_name[schema.table_name] = len(self._tables)
+        self._resolved[schema.table_name] = (len(self._tables), table)
         self._tables.append(table)
         return table
 
     def table(self, name: str) -> Table:
         try:
             return self._tables[self._by_name[name]]
+        except KeyError:
+            raise StorageError(f"no table named {name!r}") from None
+
+    def resolve(self, name: str) -> tuple[int, Table]:
+        """``(table_id, table)`` in one lookup — the per-operation path
+        stored-procedure contexts hit for every access."""
+        try:
+            return self._resolved[name]
         except KeyError:
             raise StorageError(f"no table named {name!r}") from None
 
@@ -63,6 +73,10 @@ class Database:
         clone = Database(self.name)
         clone._tables = [t.copy() for t in self._tables]
         clone._by_name = dict(self._by_name)
+        clone._resolved = {
+            name: (tid, clone._tables[tid])
+            for name, tid in clone._by_name.items()
+        }
         return clone
 
     def state_digest(self) -> str:

@@ -195,8 +195,14 @@ class Table:
         return int(self._keys[row])
 
     def read(self, row: int, column: str) -> int:
-        self._check_row(row)
-        return int(self.column(column)[row])
+        if not 0 <= row < self._num_rows:
+            self._check_row(row)
+        try:
+            return int(self._columns[column][row])
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
 
     def column(self, name: str) -> np.ndarray:
         try:

@@ -12,8 +12,21 @@ from repro.txn.context import (
     apply_local_sets,
     execute_buffered,
 )
-from repro.txn.decompose import ExecutionPlan, plan, plan_grouped, plan_naive
-from repro.txn.operations import NUM_OP_KINDS, OpKind, OpRecord
+from repro.txn.decompose import (
+    ExecutionPlan,
+    plan,
+    plan_arrays,
+    plan_grouped,
+    plan_naive,
+)
+from repro.txn.operations import (
+    NUM_OP_KINDS,
+    OpColumns,
+    OpKind,
+    OpRecord,
+    column_name,
+    intern_column,
+)
 from repro.txn.procedures import Procedure, ProcedureRegistry
 from repro.txn.transaction import Transaction, TxnStatus, assign_tids
 
@@ -25,11 +38,15 @@ __all__ = [
     "execute_buffered",
     "ExecutionPlan",
     "plan",
+    "plan_arrays",
     "plan_grouped",
     "plan_naive",
     "NUM_OP_KINDS",
+    "OpColumns",
     "OpKind",
     "OpRecord",
+    "column_name",
+    "intern_column",
     "Procedure",
     "ProcedureRegistry",
     "Transaction",

@@ -14,12 +14,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import TransactionAborted, TransactionError
+from repro.errors import StorageError, TransactionAborted, TransactionError
 from repro.storage.database import Database
-from repro.txn.operations import OpKind, OpRecord
+from repro.txn.operations import KEY_COLUMN, OpColumns, OpKind, intern_column
+from repro.txn.operations import _COLUMN_IDS  # interner fast path
+
+_READ = int(OpKind.READ)
+_WRITE = int(OpKind.WRITE)
+_ADD = int(OpKind.ADD)
+_INSERT = int(OpKind.INSERT)
+_EMPTY_COL = intern_column("")
+_KEY_COL = intern_column(KEY_COLUMN)
+_COL_ID = _COLUMN_IDS.get
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalSets:
     """A transaction's buffered effects."""
 
@@ -43,13 +52,20 @@ class LocalSets:
 class BufferedContext:
     """The context handed to stored procedures.
 
-    Records every operation as an :class:`OpRecord` (the conflict log's
-    input) and maintains read-your-own-writes semantics.
+    Records every operation into a columnar :class:`OpColumns` buffer
+    (the conflict log's input; indexable as :class:`OpRecord` views) and
+    maintains read-your-own-writes semantics.
     """
+
+    __slots__ = ("_db", "_resolve", "ops", "_emit", "local", "ranges")
 
     def __init__(self, database: Database):
         self._db = database
-        self.ops: list[OpRecord] = []
+        self._resolve = database.resolve
+        self.ops = OpColumns()
+        # Bound C-level extend of the flat op buffer: recording an op is
+        # one call with a 6-tuple (kind, table, row, col_id, value, key).
+        self._emit = self.ops.buffer.extend
         self.local = LocalSets()
         #: (table_id, lo, hi) predicates from range reads — consumed by
         #: the engine's phantom detection (range-query extension).
@@ -61,46 +77,69 @@ class BufferedContext:
 
         Sees the transaction's own uncommitted inserts (read-your-own-
         writes extends to new rows)."""
-        table_id = self._db.table_id(table)
-        own = self.local.inserts.get((table_id, int(key)))
-        if own is not None:
-            t = self._db.table_by_id(table_id)
-            default = dict(
-                (c.name, c.default) for c in t.schema.columns
-            ).get(column)
-            if column not in t.schema.column_names:
-                raise TransactionError(
-                    f"table {table!r} has no column {column!r}"
+        table_id, t = self._resolve(table)
+        local = self.local
+        if local.inserts:
+            own = local.inserts.get((table_id, int(key)))
+            if own is not None:
+                default = dict(
+                    (c.name, c.default) for c in t.schema.columns
+                ).get(column)
+                if column not in t.schema.column_names:
+                    raise TransactionError(
+                        f"table {table!r} has no column {column!r}"
+                    )
+                value = own.get(column, default)
+                self._emit(
+                    (_READ, table_id, -1, intern_column(column), int(value), int(key))
                 )
-            value = own.get(column, default)
-            self.ops.append(
-                OpRecord(OpKind.READ, table_id, -1, column, int(value), key=int(key))
-            )
-            return int(value)
-        t = self._db.table_by_id(table_id)
-        row = t.lookup(key)
-        return self._read_slot(table_id, row, column)
+                return int(value)
+        # Inlined Table.lookup / Table.read (this is the hottest path in
+        # the repo; rows from the primary index never need bounds checks).
+        key = int(key)
+        row = key if 0 <= key < t._dense_limit else t.primary.lookup(key)
+        loc = (table_id, row, column)
+        value = local.writes.get(loc)
+        if value is None:
+            try:
+                value = int(t._columns[column][row])
+            except KeyError:
+                raise StorageError(
+                    f"table {t.name!r} has no column {column!r}"
+                ) from None
+        value += local.adds.get(loc, 0)
+        col_id = _COL_ID(column)
+        if col_id is None:
+            col_id = intern_column(column)
+        self._emit((_READ, table_id, row, col_id, value, 0))
+        return value
 
     def read_at(self, table: str, row: int, column: str) -> int:
         """Read by row slot (for rows found via a secondary index)."""
-        return self._read_slot(self._db.table_id(table), row, column)
+        table_id, t = self._resolve(table)
+        return self._slot_read(t, table_id, row, column)
 
     def _read_slot(self, table_id: int, row: int, column: str) -> int:
+        return self._slot_read(self._db.table_by_id(table_id), table_id, row, column)
+
+    def _slot_read(self, t, table_id: int, row: int, column: str) -> int:
         loc = (table_id, row, column)
-        t = self._db.table_by_id(table_id)
-        value = self.local.writes.get(loc)
+        local = self.local
+        value = local.writes.get(loc)
         if value is None:
             value = t.read(row, column)
-        value += self.local.adds.get(loc, 0)
-        self.ops.append(OpRecord(OpKind.READ, table_id, row, column, value))
+        value += local.adds.get(loc, 0)
+        col_id = _COL_ID(column)
+        if col_id is None:
+            col_id = intern_column(column)
+        self._emit((_READ, table_id, row, col_id, int(value), 0))
         return value
 
     def key_at(self, table: str, row: int) -> int:
         """Read a row's primary key (counts as a read of the row)."""
-        table_id = self._db.table_id(table)
-        t = self._db.table_by_id(table_id)
+        table_id, t = self._resolve(table)
         key = t.key_of(row)
-        self.ops.append(OpRecord(OpKind.READ, table_id, row, "__key__", key))
+        self._emit((_READ, table_id, row, _KEY_COL, int(key), 0))
         return key
 
     def last_row_by_secondary(self, table: str, index: str, skey: int) -> int:
@@ -130,13 +169,12 @@ class BufferedContext:
         transaction if an earlier-TID transaction *inserts* into the
         range (phantom protection).
         """
-        table_id = self._db.table_id(table)
-        t = self._db.table_by_id(table_id)
+        table_id, t = self._resolve(table)
         pairs = t.range_rows(lo, hi)
         if limit is not None:
             pairs = pairs[:limit]
         self.ranges.append((table_id, int(lo), int(hi)))
-        return [self._read_slot(table_id, row, column) for _, row in pairs]
+        return [self._slot_read(t, table_id, row, column) for _, row in pairs]
 
     def rows_by_secondary(self, table: str, index: str, skey: int) -> list[int]:
         t = self._db.table(table)
@@ -150,30 +188,45 @@ class BufferedContext:
 
     # -- writes -------------------------------------------------------------
     def write(self, table: str, key: int, column: str, value: int) -> None:
-        table_id = self._db.table_id(table)
-        t = self._db.table_by_id(table_id)
-        row = t.lookup(key)
-        self.write_at(table, row, column, value)
+        table_id, t = self._resolve(table)
+        key = int(key)
+        row = key if 0 <= key < t._dense_limit else t.primary.lookup(key)
+        loc = (table_id, row, column)
+        local = self.local
+        local.writes[loc] = value = int(value)
+        local.adds.pop(loc, None)  # write overrides pending adds
+        col_id = _COL_ID(column)
+        if col_id is None:
+            col_id = intern_column(column)
+        self._emit((_WRITE, table_id, row, col_id, value, 0))
 
     def write_at(self, table: str, row: int, column: str, value: int) -> None:
-        table_id = self._db.table_id(table)
+        table_id, _ = self._resolve(table)
         loc = (table_id, row, column)
-        self.local.writes[loc] = int(value)
-        self.local.adds.pop(loc, None)  # write overrides pending adds
-        self.ops.append(OpRecord(OpKind.WRITE, table_id, row, column, int(value)))
+        local = self.local
+        local.writes[loc] = value = int(value)
+        local.adds.pop(loc, None)  # write overrides pending adds
+        col_id = _COL_ID(column)
+        if col_id is None:
+            col_id = intern_column(column)
+        self._emit((_WRITE, table_id, row, col_id, value, 0))
 
     def add(self, table: str, key: int, column: str, delta: int) -> None:
         """Commutative ``column += delta`` (delayed-update eligible)."""
-        table_id = self._db.table_id(table)
-        t = self._db.table_by_id(table_id)
-        row = t.lookup(key)
+        table_id, t = self._resolve(table)
+        key = int(key)
+        row = key if 0 <= key < t._dense_limit else t.primary.lookup(key)
         loc = (table_id, row, column)
-        self.local.adds[loc] = self.local.adds.get(loc, 0) + int(delta)
-        self.ops.append(OpRecord(OpKind.ADD, table_id, row, column, int(delta)))
+        adds = self.local.adds
+        adds[loc] = adds.get(loc, 0) + (delta := int(delta))
+        col_id = _COL_ID(column)
+        if col_id is None:
+            col_id = intern_column(column)
+        self._emit((_ADD, table_id, row, col_id, delta, 0))
 
     def insert(self, table: str, key: int, values: dict[str, int]) -> None:
-        table_id = self._db.table_id(table)
-        if self._db.table_by_id(table_id).get_row(int(key)) is not None:
+        table_id, t = self._resolve(table)
+        if t.get_row(int(key)) is not None:
             # Unique violation against the snapshot: deterministic
             # logic-level rollback (not a concurrency-control abort).
             raise TransactionAborted(f"duplicate key {key} in {table!r}")
@@ -183,9 +236,7 @@ class BufferedContext:
                 f"transaction inserts key {key} into {table!r} twice"
             )
         self.local.inserts[ikey] = {c: int(v) for c, v in values.items()}
-        self.ops.append(
-            OpRecord(OpKind.INSERT, table_id, -1, "", 0, key=int(key))
-        )
+        self._emit((_INSERT, table_id, -1, _EMPTY_COL, 0, int(key)))
 
     # -- control -------------------------------------------------------------
     def abort(self, reason: str = "user abort") -> None:

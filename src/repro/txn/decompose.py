@@ -18,6 +18,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.gpusim.config import WARP_SIZE
 from repro.txn.operations import OpKind
 from repro.txn.transaction import Transaction
@@ -109,3 +111,95 @@ def plan_naive(transactions: list[Transaction]) -> ExecutionPlan:
 def plan(transactions: list[Transaction], grouped: bool) -> ExecutionPlan:
     """Dispatch on the adaptive-warp-division toggle."""
     return plan_grouped(transactions) if grouped else plan_naive(transactions)
+
+
+# -- columnar (array) planning ------------------------------------------------
+# The engine's columnar hot path has the whole batch's op stream as flat
+# arrays already; these planners produce the exact same ExecutionPlan as
+# their object-walking twins above without materializing OpRecords.
+
+
+def _group_sizes_from_arrays(
+    kinds: np.ndarray, tables: np.ndarray
+) -> dict[tuple[int, int], int]:
+    if kinds.size == 0:
+        return {}
+    span = int(tables.max()) + 1
+    enc = kinds * span + tables
+    uniq, counts = np.unique(enc, return_counts=True)
+    return {
+        (int(e // span), int(e % span)): int(c) for e, c in zip(uniq, counts)
+    }
+
+
+def plan_grouped_arrays(kinds: np.ndarray, tables: np.ndarray) -> ExecutionPlan:
+    """Array twin of :func:`plan_grouped` over flat batch op columns."""
+    groups = _group_sizes_from_arrays(kinds, tables)
+    total_ops = int(kinds.size)
+    warps = sum(-(-count // WARP_SIZE) for count in groups.values())
+    lanes = warps * WARP_SIZE
+    return ExecutionPlan(
+        mode="grouped",
+        total_ops=total_ops,
+        warps=warps,
+        utilization=total_ops / lanes if lanes else 1.0,
+        divergent_branches=0,
+        group_sizes=groups,
+    )
+
+
+def plan_naive_arrays(
+    kinds: np.ndarray, tables: np.ndarray, counts: np.ndarray
+) -> ExecutionPlan:
+    """Array twin of :func:`plan_naive`.
+
+    ``counts[i]`` is the number of ops of transaction *i*; ops are laid
+    out transaction-major in ``kinds``/``tables``.
+    """
+    groups = _group_sizes_from_arrays(kinds, tables)
+    total_ops = int(kinds.size)
+    n_txns = int(counts.size)
+    warps = -(-n_txns // WARP_SIZE) if n_txns else 0
+    if warps == 0:
+        return ExecutionPlan("naive", 0, 0, 1.0, 0, groups)
+    warp_of_txn = np.arange(n_txns, dtype=np.int64) // WARP_SIZE
+    depth = np.zeros(warps, dtype=np.int64)
+    np.maximum.at(depth, warp_of_txn, counts)
+    lane_steps = int(depth.sum()) * WARP_SIZE
+    divergence = 0
+    if total_ops:
+        txn_of_op = np.repeat(np.arange(n_txns, dtype=np.int64), counts)
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1])
+        )
+        step = np.arange(total_ops, dtype=np.int64) - offsets[txn_of_op]
+        warp = warp_of_txn[txn_of_op]
+        span = int(tables.max()) + 1
+        cls = kinds * span + tables
+        # Distinct (warp, step, class) triples, then distinct classes per
+        # (warp, step): every class beyond the first is one divergence
+        # event — identical to the per-step set arithmetic above.
+        order = np.lexsort((cls, step, warp))
+        w, s, c = warp[order], step[order], cls[order]
+        new_triple = np.ones(total_ops, dtype=bool)
+        new_triple[1:] = (w[1:] != w[:-1]) | (s[1:] != s[:-1]) | (c[1:] != c[:-1])
+        new_step = np.ones(total_ops, dtype=bool)
+        new_step[1:] = (w[1:] != w[:-1]) | (s[1:] != s[:-1])
+        divergence = int(new_triple.sum()) - int(new_step.sum())
+    return ExecutionPlan(
+        mode="naive",
+        total_ops=total_ops,
+        warps=warps,
+        utilization=total_ops / lane_steps if lane_steps else 1.0,
+        divergent_branches=divergence,
+        group_sizes=groups,
+    )
+
+
+def plan_arrays(
+    kinds: np.ndarray, tables: np.ndarray, counts: np.ndarray, grouped: bool
+) -> ExecutionPlan:
+    """Columnar dispatch on the adaptive-warp-division toggle."""
+    if grouped:
+        return plan_grouped_arrays(kinds, tables)
+    return plan_naive_arrays(kinds, tables, counts)

@@ -23,6 +23,7 @@ class ProcedureRegistry:
 
     def __init__(self) -> None:
         self._procs: dict[str, Procedure] = {}
+        self._version = 0
 
     def register(self, name: str, procedure: Procedure | None = None):
         """Register a procedure; usable directly or as a decorator::
@@ -44,6 +45,13 @@ class ProcedureRegistry:
         if name in self._procs:
             raise TransactionError(f"procedure {name!r} already registered")
         self._procs[name] = procedure
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Bumped on every registration; lets engines cache lookups and
+        invalidate only when the registry actually changes."""
+        return self._version
 
     def get(self, name: str) -> Procedure:
         try:

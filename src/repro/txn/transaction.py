@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.txn.operations import OpRecord
+from repro.txn.operations import OpColumns, OpRecord
 
 
 class TxnStatus(enum.Enum):
@@ -33,8 +33,10 @@ class Transaction:
     status: TxnStatus = TxnStatus.PENDING
     #: How many batches this transaction has been through (1 = first try).
     attempts: int = 0
-    #: Operation stream from the most recent execution.
-    ops: list[OpRecord] = field(default_factory=list)
+    #: Operation stream from the most recent execution — an
+    #: :class:`OpColumns` buffer after running under an engine (its
+    #: indexing yields :class:`OpRecord` views), or a plain list.
+    ops: OpColumns | list[OpRecord] = field(default_factory=list)
     #: Why the last conflict-detection pass aborted it (for diagnostics):
     #: one of "", "waw", "raw", "war", "raw+war", "logic".
     abort_reason: str = ""
