@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Analysis gate: run the GPU sanitizer and determinism linter.
+
+Thin wrapper over ``python -m repro.analysis`` that works from a source
+checkout without installing the package.  By default runs every pass
+(racecheck, memcheck, detlint) over every workload and fails if any
+finding surfaces.
+
+Exit codes (shared with ``python -m repro.analysis``):
+
+* ``0`` — every pass on every workload reported zero findings.
+* ``1`` — at least one finding (race, OOB/uninit access, determinism
+  hazard).
+* ``2`` — usage error.
+
+Examples::
+
+    python scripts/run_analysis.py                      # everything
+    python scripts/run_analysis.py racecheck            # one pass, all workloads
+    python scripts/run_analysis.py all --workload tpcc  # one workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE
+    from repro.analysis.passes import run_pass
+    from repro.analysis.workload import (
+        DEFAULT_BATCH_SIZE,
+        DEFAULT_BATCHES,
+        WORKLOAD_NAMES,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "pass_name",
+        metavar="pass",
+        nargs="?",
+        default="all",
+        choices=("racecheck", "memcheck", "detlint", "all"),
+        help="which analysis to run (default: all)",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=WORKLOAD_NAMES,
+        default=None,
+        help="restrict to one workload (default: run every workload)",
+    )
+    parser.add_argument("--batches", type=int, default=DEFAULT_BATCHES)
+    parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
+    parser.add_argument("--seed", type=int, default=7)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    if args.batches <= 0 or args.batch_size <= 0:
+        print(
+            "error: --batches and --batch-size must be positive",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    workloads = (args.workload,) if args.workload else WORKLOAD_NAMES
+    findings = 0
+    for workload in workloads:
+        for result in run_pass(
+            args.pass_name,
+            workload=workload,
+            batches=args.batches,
+            batch_size=args.batch_size,
+            seed=args.seed,
+        ):
+            print(result.render())
+            findings += len(result.report)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

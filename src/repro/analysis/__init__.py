@@ -1,0 +1,54 @@
+"""Static and simulation-time analyses for the LTPG reproduction.
+
+Three passes, mirroring what ``compute-sanitizer`` and a CUDA linter
+would give the real system:
+
+* :mod:`repro.analysis.sanitizer` — shadow access log with racecheck
+  (write-write / read-write / atomic-plain hazards between threads with
+  no intervening sync point) and memcheck (out-of-bounds indices, reads
+  of never-written slots).
+* :mod:`repro.analysis.detlint` — determinism linter for stored
+  procedures: a static AST pass rejecting nondeterminism sources plus a
+  dynamic twin that replays procedures and diffs their op streams.
+* :mod:`repro.analysis.passes` — workload-level runners behind
+  ``python -m repro.analysis <pass> [--workload tpcc|ycsb|smallbank]``.
+
+This module deliberately re-exports only the dependency-light core
+(findings, sanitizer, linter); the engine imports
+``repro.analysis.sanitizer`` directly, and the pass runners (which
+import the engine) load lazily via the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.detlint import (
+    lint_procedure,
+    lint_registry,
+    lint_source,
+    replay_procedure,
+    replay_transactions,
+)
+from repro.analysis.findings import (
+    DETLINT,
+    MEMCHECK,
+    RACECHECK,
+    Finding,
+    FindingReport,
+)
+from repro.analysis.sanitizer import AccessKind, Sanitizer, ShadowBuffer
+
+__all__ = [
+    "AccessKind",
+    "DETLINT",
+    "Finding",
+    "FindingReport",
+    "MEMCHECK",
+    "RACECHECK",
+    "Sanitizer",
+    "ShadowBuffer",
+    "lint_procedure",
+    "lint_registry",
+    "lint_source",
+    "replay_procedure",
+    "replay_transactions",
+]

@@ -1,0 +1,9 @@
+"""``python -m repro.analysis`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.cli import main
+
+sys.exit(main())

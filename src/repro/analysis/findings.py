@@ -1,0 +1,84 @@
+"""Finding records shared by every analysis pass.
+
+A :class:`Finding` is one defect report — a race, an out-of-bounds
+access, an uninitialized read, or a determinism hazard in a stored
+procedure.  Passes accumulate findings into a :class:`FindingReport`,
+which the CLI turns into human-readable output and an exit code
+(0 clean / 1 findings; usage errors exit 2 before a report exists).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+#: Pass identifiers (the CLI's sub-command names).
+RACECHECK = "racecheck"
+MEMCHECK = "memcheck"
+DETLINT = "detlint"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect reported by an analysis pass.
+
+    ``subject`` names the shadow buffer (racecheck/memcheck) or the
+    stored procedure (detlint).  ``threads`` is the representative
+    conflicting thread pair for races; ``index`` the offending address
+    or source line.
+    """
+
+    pass_name: str
+    kind: str
+    subject: str
+    message: str
+    kernel: str | None = None
+    index: int | None = None
+    threads: tuple[int, int] | None = None
+
+    def describe(self) -> str:
+        where = f" [kernel={self.kernel}]" if self.kernel else ""
+        return f"{self.pass_name}:{self.kind} {self.subject}{where}: {self.message}"
+
+
+@dataclass
+class FindingReport:
+    """Accumulated findings of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings dropped once a (subject, kind) bucket hit its cap.
+    suppressed: int = 0
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def by_pass(self, pass_name: str) -> list[Finding]:
+        return [f for f in self.findings if f.pass_name == pass_name]
+
+    def counts(self) -> dict[str, int]:
+        return dict(Counter(f.kind for f in self.findings))
+
+    def summary(self) -> str:
+        if self.clean:
+            return "clean: 0 findings"
+        parts = ", ".join(f"{k}={c}" for k, c in sorted(self.counts().items()))
+        tail = f" (+{self.suppressed} suppressed)" if self.suppressed else ""
+        return f"{len(self.findings)} findings: {parts}{tail}"
+
+    def render(self, limit: int = 50) -> str:
+        lines = [self.summary()]
+        for finding in self.findings[:limit]:
+            lines.append("  " + finding.describe())
+        if len(self.findings) > limit:
+            lines.append(f"  ... and {len(self.findings) - limit} more")
+        return "\n".join(lines)

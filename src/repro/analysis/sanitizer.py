@@ -1,0 +1,393 @@
+"""GPU sanitizer: shadow access logging with racecheck + memcheck.
+
+Works like ``compute-sanitizer`` does for real CUDA, scaled down to the
+SIMT simulator: instrumented code records every shared-memory access as
+``(buffer, index, thread, kind, is_atomic)`` into the sanitizer bound to
+the running :class:`~repro.gpusim.kernel.KernelContext`.  Kernel launch
+boundaries and explicit ``barrier()`` calls are synchronization points;
+within one synchronization interval the sanitizer flags
+
+* **write-write** — two plain writes to one address by different threads,
+* **read-write** — a plain write racing a plain read by another thread,
+* **atomic-plain** — atomic and plain access mixed on one address
+  (unsynchronized atomics serialize in *some* order; a plain access
+  interleaving with them is exactly the nondeterminism LTPG's
+  deterministic tie-breaking exists to avoid),
+
+while all-atomic contention on an address is clean (atomics serialize,
+and the deterministic ascending-thread-id schedule fixes the order).
+
+Memcheck runs inline on the same records: each registered buffer keeps a
+shadow init-bitmap, so out-of-bounds indices and reads of never-written
+slots are reported the moment they happen, in program order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.findings import MEMCHECK, RACECHECK, Finding, FindingReport
+
+#: Cap on findings emitted per (buffer, kind) pair; the rest are counted
+#: as suppressed so a pathological kernel cannot flood the report.
+FINDINGS_PER_BUCKET = 16
+
+
+class AccessKind(enum.IntEnum):
+    """What an instrumented access did to the address."""
+
+    READ = 0
+    WRITE = 1
+
+
+@dataclass
+class ShadowBuffer:
+    """Shadow state for one tracked allocation.
+
+    ``size=None`` models an unbounded address space (auto-registered
+    buffers): no bounds check and no init tracking.  Sized buffers carry
+    an init bitmap unless registered fully initialized (``cudaMemset``
+    at alloc time, or a snapshot loaded before the batch).
+    """
+
+    name: str
+    size: int | None
+    fully_initialized: bool
+    init: np.ndarray | None  # bool bitmap, None when not tracked
+
+    @classmethod
+    def make(
+        cls, name: str, size: int | None, initialized: bool
+    ) -> "ShadowBuffer":
+        init = None
+        if size is not None and not initialized:
+            init = np.zeros(size, dtype=bool)
+        return cls(name=name, size=size, fully_initialized=initialized, init=init)
+
+    def grow(self, size: int) -> None:
+        if self.size is None or size <= self.size:
+            return
+        if self.init is not None:
+            grown = np.zeros(size, dtype=bool)
+            grown[: self.size] = self.init
+            self.init = grown
+        self.size = size
+
+
+@dataclass
+class _Record:
+    """One batch of accesses (vectorized: many threads, one call)."""
+
+    buf: int  # interned buffer id
+    indices: np.ndarray
+    threads: np.ndarray
+    is_write: bool
+    is_atomic: bool
+
+
+class Sanitizer:
+    """Shadow access log + racecheck/memcheck analyses.
+
+    Bind to a :class:`~repro.gpusim.device.Device` (``device.sanitizer``)
+    and every kernel launch opens a fresh epoch; instrumented primitives
+    (:mod:`repro.gpusim.atomics`, :mod:`repro.gpusim.memory`, the warp
+    interpreter, the LTPG engine phases) record into it.  Standalone use
+    works too: record accesses, then call :meth:`flush`.
+    """
+
+    def __init__(self, racecheck: bool = True, memcheck: bool = True):
+        self.racecheck_enabled = racecheck
+        self.memcheck_enabled = memcheck
+        self.report = FindingReport()
+        self._buffers: dict[str, ShadowBuffer] = {}
+        self._buf_ids: dict[str, int] = {}
+        self._buf_names: list[str] = []
+        self._kernel = "<ambient>"
+        #: Access records of the current synchronization interval.
+        self._segment: list[_Record] = []
+        self._bucket_counts: dict[tuple[str, str], int] = {}
+        #: Totals for reporting (accesses observed, kernels scanned).
+        self.accesses_logged = 0
+        self.kernels_scanned = 0
+        self.barriers_seen = 0
+
+    # -- buffer registry --------------------------------------------------
+    def register_buffer(
+        self, name: str, size: int | None = None, initialized: bool = True
+    ) -> None:
+        """Track ``name``; idempotent, growing the bound monotonically.
+
+        Sized + ``initialized=False`` buffers get an init bitmap so
+        memcheck can flag reads of never-written slots.
+        """
+        existing = self._buffers.get(name)
+        if existing is None:
+            self._buffers[name] = ShadowBuffer.make(name, size, initialized)
+            self._intern(name)
+        elif size is not None:
+            existing.grow(size)
+
+    def _intern(self, name: str) -> int:
+        buf_id = self._buf_ids.get(name)
+        if buf_id is None:
+            buf_id = len(self._buf_names)
+            self._buf_ids[name] = buf_id
+            self._buf_names.append(name)
+        return buf_id
+
+    def _shadow(self, name: str) -> ShadowBuffer:
+        shadow = self._buffers.get(name)
+        if shadow is None:
+            # Auto-register: unbounded, fully initialized.  Explicit
+            # registration is what turns on bounds/init tracking.
+            shadow = ShadowBuffer.make(name, None, True)
+            self._buffers[name] = shadow
+            self._intern(name)
+        return shadow
+
+    # -- epoch lifecycle --------------------------------------------------
+    def begin_kernel(self, name: str) -> None:
+        """A kernel launch: a fresh epoch named after the kernel."""
+        self._scan_segment()
+        self._segment = []
+        self._kernel = name
+
+    def end_kernel(self) -> None:
+        """Kernel completion is a device-wide synchronization point."""
+        self._scan_segment()
+        self._segment = []
+        self._kernel = "<ambient>"
+        self.kernels_scanned += 1
+
+    def barrier(self) -> None:
+        """An in-kernel barrier (``__syncthreads``): accesses before and
+        after it can never race each other."""
+        self._scan_segment()
+        self._segment = []
+        self.barriers_seen += 1
+
+    def flush(self) -> None:
+        """Analyze and clear any pending records (standalone use)."""
+        self._scan_segment()
+        self._segment = []
+
+    # -- recording --------------------------------------------------------
+    def record(
+        self,
+        buffer: str,
+        indices: "np.ndarray | list[int] | int",
+        threads: "np.ndarray | list[int] | int",
+        kind: AccessKind,
+        atomic: bool = False,
+    ) -> None:
+        """Log one batch of accesses: thread ``threads[i]`` touched
+        ``buffer[indices[i]]``.  A scalar ``threads`` broadcasts."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if idx.size == 0:
+            return
+        thr = np.asarray(threads, dtype=np.int64)
+        if thr.ndim == 0:
+            thr = np.full(idx.size, int(thr), dtype=np.int64)
+        if thr.size != idx.size:
+            raise ValueError("sanitizer record: indices and threads must align")
+        self.accesses_logged += idx.size
+        shadow = self._shadow(buffer)
+        if self.memcheck_enabled:
+            idx, thr = self._memcheck(shadow, idx, thr, kind)
+            if idx.size == 0:
+                return
+        if self.racecheck_enabled:
+            self._segment.append(
+                _Record(
+                    buf=self._buf_ids[buffer],
+                    indices=idx,
+                    threads=thr,
+                    is_write=kind == AccessKind.WRITE,
+                    is_atomic=atomic,
+                )
+            )
+
+    # -- memcheck (inline, program order) ---------------------------------
+    def _memcheck(
+        self,
+        shadow: ShadowBuffer,
+        idx: np.ndarray,
+        thr: np.ndarray,
+        kind: AccessKind,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Report OOB / uninit accesses; returns the in-bounds
+        (indices, threads) pairs (OOB accesses never reach the race log
+        — like real hardware, where they fault instead of landing
+        anywhere meaningful)."""
+        if shadow.size is None:
+            return idx, thr
+        oob = (idx < 0) | (idx >= shadow.size)
+        if oob.any():
+            bad = np.flatnonzero(oob)
+            for j in bad[:FINDINGS_PER_BUCKET]:
+                self._emit(
+                    Finding(
+                        MEMCHECK,
+                        "out-of-bounds",
+                        shadow.name,
+                        f"thread {int(thr[j])} {kind.name.lower()} at index "
+                        f"{int(idx[j])}, buffer size {shadow.size}",
+                        kernel=self._kernel,
+                        index=int(idx[j]),
+                        threads=(int(thr[j]), int(thr[j])),
+                    )
+                )
+            idx = idx[~oob]
+            thr = thr[~oob]
+            if idx.size == 0:
+                return idx, thr
+        if shadow.init is not None:
+            if kind == AccessKind.READ:
+                uninit = ~shadow.init[idx]
+                for j in np.flatnonzero(uninit)[:FINDINGS_PER_BUCKET]:
+                    self._emit(
+                        Finding(
+                            MEMCHECK,
+                            "uninitialized-read",
+                            shadow.name,
+                            f"thread {int(thr[j])} read never-written slot "
+                            f"{int(idx[j])}",
+                            kernel=self._kernel,
+                            index=int(idx[j]),
+                            threads=(int(thr[j]), int(thr[j])),
+                        )
+                    )
+            else:
+                shadow.init[idx] = True
+        return idx, thr
+
+    # -- racecheck (per synchronization interval) -------------------------
+    def _scan_segment(self) -> None:
+        records = self._segment
+        if not records or not self.racecheck_enabled:
+            return
+        buf = np.concatenate([np.full(r.indices.size, r.buf) for r in records])
+        idx = np.concatenate([r.indices for r in records])
+        thr = np.concatenate([r.threads for r in records])
+        wrt = np.concatenate(
+            [np.full(r.indices.size, r.is_write, dtype=bool) for r in records]
+        )
+        atm = np.concatenate(
+            [np.full(r.indices.size, r.is_atomic, dtype=bool) for r in records]
+        )
+        order = np.lexsort((thr, idx, buf))
+        buf, idx, thr, wrt, atm = (
+            buf[order], idx[order], thr[order], wrt[order], atm[order]
+        )
+        new_group = np.empty(buf.size, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (buf[1:] != buf[:-1]) | (idx[1:] != idx[:-1])
+        starts = np.flatnonzero(new_group)
+        ends = np.append(starts[1:], buf.size)
+        # Vectorized prefilter: a group needs >= 2 accesses, >= 2 distinct
+        # threads, at least one write, and not all-atomic to be suspicious.
+        sizes = ends - starts
+        multi = sizes > 1
+        if not multi.any():
+            return
+        thread_changes = np.zeros(buf.size, dtype=np.int64)
+        thread_changes[1:] = (thr[1:] != thr[:-1]) & ~new_group[1:]
+        distinct = np.add.reduceat(thread_changes, starts) + 1
+        any_write = np.add.reduceat(wrt.astype(np.int64), starts) > 0
+        all_atomic = np.add.reduceat(atm.astype(np.int64), starts) == sizes
+        suspicious = multi & (distinct > 1) & any_write & ~all_atomic
+        for g in np.flatnonzero(suspicious):
+            self._classify_group(
+                buf[starts[g]],
+                int(idx[starts[g]]),
+                thr[starts[g] : ends[g]],
+                wrt[starts[g] : ends[g]],
+                atm[starts[g] : ends[g]],
+            )
+
+    def _classify_group(
+        self,
+        buf_id: int,
+        index: int,
+        thr: np.ndarray,
+        wrt: np.ndarray,
+        atm: np.ndarray,
+    ) -> None:
+        """Emit race findings for one conflicting (buffer, index)."""
+        name = self._buf_names[int(buf_id)]
+        plain = ~atm
+        plain_w = np.unique(thr[plain & wrt])
+        plain_r = np.unique(thr[plain & ~wrt])
+        atomic_t = np.unique(thr[atm])
+        if plain_w.size >= 2:
+            self._emit_race(
+                "write-write", name, index,
+                (int(plain_w[0]), int(plain_w[1])),
+                "unsynchronized writes",
+            )
+        if plain_w.size and plain_r.size:
+            readers = plain_r[plain_r != plain_w[0]]
+            if readers.size or plain_w.size > 1:
+                writer = int(plain_w[0]) if readers.size else int(plain_w[1])
+                reader = int(readers[0]) if readers.size else int(plain_r[0])
+                self._emit_race(
+                    "read-write", name, index, (writer, reader),
+                    "plain read races a write",
+                )
+        if atomic_t.size and (plain_w.size or plain_r.size):
+            plain_t = np.unique(thr[plain])
+            others = plain_t[plain_t != atomic_t[0]]
+            partner = (
+                int(others[0]) if others.size
+                else int(atomic_t[1]) if atomic_t.size > 1 else int(plain_t[0])
+            )
+            if others.size or atomic_t.size > 1:
+                self._emit_race(
+                    "atomic-plain", name, index, (int(atomic_t[0]), partner),
+                    "atomic and plain access mixed on one address",
+                )
+
+    def _emit_race(
+        self,
+        kind: str,
+        buffer: str,
+        index: int,
+        threads: tuple[int, int],
+        what: str,
+    ) -> None:
+        self._emit(
+            Finding(
+                RACECHECK,
+                kind,
+                buffer,
+                f"{what} at index {index} between threads "
+                f"{threads[0]} and {threads[1]} with no sync point",
+                kernel=self._kernel,
+                index=index,
+                threads=threads,
+            )
+        )
+
+    def _emit(self, finding: Finding) -> None:
+        bucket = (finding.subject, finding.kind)
+        count = self._bucket_counts.get(bucket, 0)
+        self._bucket_counts[bucket] = count + 1
+        if count >= FINDINGS_PER_BUCKET:
+            self.report.suppressed += 1
+            return
+        self.report.add(finding)
+
+    # -- results ----------------------------------------------------------
+    @property
+    def findings(self) -> list[Finding]:
+        return self.report.findings
+
+    def findings_for(self, pass_name: str) -> list[Finding]:
+        return self.report.by_pass(pass_name)
+
+    @property
+    def clean(self) -> bool:
+        return self.report.clean

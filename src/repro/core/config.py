@@ -46,6 +46,12 @@ class LTPGConfig:
     pipelined: bool = False
     memory_mode: MemoryMode = MemoryMode.AUTO
 
+    #: Attach the shadow-access sanitizer (:mod:`repro.analysis`) to the
+    #: device: every phase kernel logs its reads/writes/atomics for
+    #: racecheck + memcheck.  Off by default — the shadow log costs real
+    #: host time and exists for analysis runs, not production batches.
+    sanitize: bool = False
+
     #: Host implementation detail, not a paper toggle: consume the
     #: execute-phase op stream through the columnar NumPy path (True) or
     #: the retained per-op reference loop (False).  Both produce

@@ -111,13 +111,15 @@ class ConflictLog:
         self, keys: np.ndarray, tids: np.ndarray, table_ids: np.ndarray,
         ctx: KernelContext | None = None,
     ) -> None:
-        self._register(self._min_read, keys, tids, table_ids, ctx)
+        self._register(self._min_read, keys, tids, table_ids, ctx, "conflict_log.read")
 
     def register_writes(
         self, keys: np.ndarray, tids: np.ndarray, table_ids: np.ndarray,
         ctx: KernelContext | None = None,
     ) -> None:
-        self._register(self._min_write, keys, tids, table_ids, ctx)
+        self._register(
+            self._min_write, keys, tids, table_ids, ctx, "conflict_log.write"
+        )
 
     def _register(
         self,
@@ -126,6 +128,7 @@ class ConflictLog:
         tids: np.ndarray,
         table_ids: np.ndarray,
         ctx: KernelContext | None,
+        buffer: str,
     ) -> None:
         if keys.size == 0:
             return
@@ -134,6 +137,13 @@ class ConflictLog:
         np.minimum.at(minima, keys, tids)
         self._touched.append(np.unique(keys))
         if ctx is not None:
+            if ctx.sanitizer is not None:
+                # The atomicMin itself: per-TID atomic writes to the
+                # minima array, addressed by the encoded conflict key.
+                from repro.analysis.sanitizer import AccessKind
+
+                ctx.sanitizer.register_buffer(buffer, size=int(minima.size))
+                ctx.sanitizer.record(buffer, keys, tids, AccessKind.WRITE, atomic=True)
             total, serialized, chain = collision_profile(
                 self._slot_addresses(keys, tids, table_ids)
             )
@@ -179,6 +189,12 @@ class ConflictLog:
             # collide; same-key reservations still chain).
             hash_size = max(1024, 2 * int(insert_keys.size))
             slots = (table_ids << 32) | (insert_keys % hash_size)
+            if ctx.sanitizer is not None:
+                from repro.analysis.sanitizer import AccessKind
+
+                ctx.sanitizer.record(
+                    "conflict_log.insert", slots, tids, AccessKind.WRITE, atomic=True
+                )
             total, serialized, chain = collision_profile(slots)
             ctx.record_atomics(total, serialized, chain)
 

@@ -137,6 +137,15 @@ class LTPGEngine:
         self.memory_plan: MemoryPlan = resolve_memory_mode(
             self.config, database, self.device
         )
+        #: Shadow-access recorder (racecheck + memcheck), attached to the
+        #: device when ``config.sanitize`` is set.  Imported lazily so the
+        #: engine has no analysis-layer dependency when it is off.
+        self.sanitizer = None
+        if self.config.sanitize:
+            from repro.analysis.sanitizer import Sanitizer
+
+            self.sanitizer = Sanitizer()
+            self.device.attach_sanitizer(self.sanitizer)
         self.batch_log = BatchLog()
         self.last_heats: dict[int, TableHeat] = {}
         # Host wall-clock spent in each phase of the most recent batch
@@ -275,6 +284,80 @@ class LTPGEngine:
         )
 
     # ------------------------------------------------------------------
+    # Shadow-access recording (``config.sanitize``).  Addresses are
+    # conflict-granular — ``row * num_groups + group`` — so the shadow
+    # cell matches the unit the WAW/RAW/WAR rules protect: a clean
+    # engine is provably race-free at this granularity, and anything the
+    # rules would miss shows up as a finding.  Thread ids are batch
+    # indices (table traffic) or TIDs (conflict-log atomics).
+    def _sanitize_table_reads(self, data: "_ExecutionData") -> None:
+        san = self.sanitizer
+        if san is None or data.read_table_arr.size == 0:
+            return
+        from repro.analysis.sanitizer import AccessKind
+
+        for t in np.unique(data.read_table_arr):
+            m = data.read_table_arr == t
+            table = self.database.table_by_id(int(t))
+            num_groups = max(1, self.flags.num_groups(int(t)))
+            addr = data.read_row_arr[m] * num_groups + data.read_group_arr[m]
+            san.record(
+                f"table:{table.name}", addr, data.read_txn_arr[m], AccessKind.READ
+            )
+
+    def _sanitize_minima_reads(self, data: "_ExecutionData") -> None:
+        """Conflict-kernel loads of the registered minima (plain reads;
+        the atomicMin writes happened one sync point earlier)."""
+        san = self.sanitizer
+        if san is None:
+            return
+        from repro.analysis.sanitizer import AccessKind
+
+        if data.write_keys.size:
+            san.record(
+                "conflict_log.write", data.write_keys, data.write_txn_arr,
+                AccessKind.READ,
+            )
+            san.record(
+                "conflict_log.read", data.write_keys, data.write_txn_arr,
+                AccessKind.READ,
+            )
+        if data.read_keys.size:
+            san.record(
+                "conflict_log.write", data.read_keys, data.read_txn_arr,
+                AccessKind.READ,
+            )
+
+    def _sanitize_writeback(self, txn_idx: int, local, delayed_adds) -> None:
+        """One committed transaction's installs.  Plain writes for owned
+        cells (the WAW rule guarantees a single committed writer per
+        conflict group); atomic adds for delayed columns (commutative,
+        multiple committers allowed)."""
+        san = self.sanitizer
+        if san is None:
+            return
+        from repro.analysis.sanitizer import AccessKind
+
+        group_of = self.flags.group_of
+        for table_id, row, column in (*local.writes, *local.adds):
+            table = self.database.table_by_id(table_id)
+            num_groups = max(1, self.flags.num_groups(table_id))
+            addr = row * num_groups + group_of(table_id, column)
+            san.record(f"table:{table.name}", addr, txn_idx, AccessKind.WRITE)
+        for table_id, key in local.inserts:
+            table = self.database.table_by_id(table_id)
+            san.record(
+                f"table:{table.name}:inserts", key, txn_idx, AccessKind.WRITE
+            )
+        for table_id, row, column, _delta in delayed_adds:
+            table = self.database.table_by_id(table_id)
+            num_groups = max(1, self.flags.num_groups(table_id))
+            addr = row * num_groups + group_of(table_id, column)
+            san.record(
+                f"table:{table.name}", addr, txn_idx, AccessKind.WRITE, atomic=True
+            )
+
+    # ------------------------------------------------------------------
     def _procedure_cache(self) -> dict[str, Procedure]:
         """Engine-level procedure lookup cache, rebuilt only when the
         registry actually changes (not once per batch)."""
@@ -380,6 +463,7 @@ class LTPGEngine:
         self.conflict_log.register_inserts(
             data.ins_table_arr, data.ins_key_arr, data.ins_tid_arr, ctx
         )
+        self._sanitize_table_reads(data)
 
     # ------------------------------------------------------------------
     def _collect_columnar(self, transactions, data: "_ExecutionData", ctx):
@@ -627,6 +711,7 @@ class LTPGEngine:
         waw = np.zeros(n, dtype=bool)
         raw = np.zeros(n, dtype=bool)
         war = np.zeros(n, dtype=bool)
+        self._sanitize_minima_reads(data)
 
         if data.write_keys.size:
             min_w = log.min_write(data.write_keys)
@@ -732,6 +817,10 @@ class LTPGEngine:
             # must merge them into its primary copy).
             rwset_bytes += local.nbytes
             rwset_bytes += 16 * len(data.delayed_adds_by_txn.get(txn.tid, ()))
+            if self.sanitizer is not None:
+                self._sanitize_writeback(
+                    idx, local, data.delayed_adds_by_txn.get(txn.tid, ())
+                )
             apply_local_sets(db, local)
             cells += len(local.writes) + len(local.adds)
             for _, values in local.inserts.items():
@@ -944,7 +1033,9 @@ class _ExecutionData:
         # The *_arr views start empty so the columnar collector can set
         # them directly; the reference collector overwrites them via
         # finalize() from the append lists above.
-        empty = lambda: np.empty(0, dtype=np.int64)
+        def empty() -> np.ndarray:
+            return np.empty(0, dtype=np.int64)
+
         self.read_table_arr = empty()
         self.read_row_arr = empty()
         self.read_group_arr = empty()
@@ -967,7 +1058,9 @@ class _ExecutionData:
 
     def finalize(self) -> None:
         """Freeze the Python lists into NumPy arrays."""
-        as_arr = lambda lst: np.asarray(lst, dtype=np.int64)
+        def as_arr(lst: list[int]) -> np.ndarray:
+            return np.asarray(lst, dtype=np.int64)
+
         self.read_table_arr = as_arr(self.read_table)
         self.read_row_arr = as_arr(self.read_row)
         self.read_group_arr = as_arr(self.read_group)

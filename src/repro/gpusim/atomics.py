@@ -55,11 +55,20 @@ class AtomicArray:
     unbound use is allowed for tests.
     """
 
-    def __init__(self, size: int, fill: int = 0, dtype=np.int64):
+    def __init__(
+        self,
+        size: int,
+        fill: int = 0,
+        dtype=np.int64,
+        name: str | None = None,
+    ):
         if size < 0:
             raise DeviceError("atomic array size must be non-negative")
         self.data = np.full(size, fill, dtype=dtype)
         self._ctx: Optional[KernelContext] = None
+        #: Shadow-buffer name for sanitizer attribution.  Unnamed arrays
+        #: stay invisible to racecheck/memcheck (tests, scratch state).
+        self.name = name
 
     def __len__(self) -> int:
         return len(self.data)
@@ -67,6 +76,12 @@ class AtomicArray:
     def bind(self, ctx: Optional[KernelContext]) -> "AtomicArray":
         """Attach (or detach, with ``None``) the recording context."""
         self._ctx = ctx
+        if (
+            ctx is not None
+            and ctx.sanitizer is not None
+            and self.name is not None
+        ):
+            ctx.sanitizer.register_buffer(self.name, size=int(self.data.size))
         return self
 
     def fill(self, value: int) -> None:
@@ -76,8 +91,47 @@ class AtomicArray:
         if self._ctx is not None:
             self._ctx.record_atomics(total, serialized, max_chain)
 
+    def _sanitize(self, idx: np.ndarray, threads) -> None:
+        """Log atomic accesses into an attached sanitizer, if any."""
+        ctx = self._ctx
+        if ctx is None or ctx.sanitizer is None or self.name is None:
+            return
+        from repro.analysis.sanitizer import AccessKind
+
+        ctx.sanitizer.record(self.name, idx, threads, AccessKind.WRITE, atomic=True)
+
+    def _check_scalar_index(self, index: int) -> int:
+        i = int(index)
+        if not 0 <= i < self.data.size:
+            self._sanitize(np.asarray([i], dtype=np.int64), 0)
+            raise DeviceError(
+                f"atomic index {i} out of bounds for array of size {self.data.size}"
+            )
+        return i
+
+    def _check_batch_indices(self, idx: np.ndarray) -> np.ndarray:
+        """Reject negative or out-of-range batch indices.
+
+        CUDA would silently corrupt memory here (and NumPy would wrap
+        negative indices); the simulator raises :class:`DeviceError`
+        instead, after reporting the bad addresses to the sanitizer so a
+        memcheck pass names them.
+        """
+        bad = (idx < 0) | (idx >= self.data.size)
+        if bad.any():
+            bad_idx = idx[bad]
+            self._sanitize(bad_idx, np.flatnonzero(bad))
+            raise DeviceError(
+                f"atomic batch indices out of bounds for array of size "
+                f"{self.data.size}: {bad_idx[:8].tolist()}"
+                + ("..." if bad_idx.size > 8 else "")
+            )
+        return idx
+
     # -- scalar atomics (return the OLD value, like CUDA) ----------------
     def atomic_min(self, index: int, value: int) -> int:
+        index = self._check_scalar_index(index)
+        self._sanitize(np.asarray([index], dtype=np.int64), 0)
         old = int(self.data[index])
         if value < old:
             self.data[index] = value
@@ -85,6 +139,8 @@ class AtomicArray:
         return old
 
     def atomic_max(self, index: int, value: int) -> int:
+        index = self._check_scalar_index(index)
+        self._sanitize(np.asarray([index], dtype=np.int64), 0)
         old = int(self.data[index])
         if value > old:
             self.data[index] = value
@@ -92,18 +148,24 @@ class AtomicArray:
         return old
 
     def atomic_add(self, index: int, value: int) -> int:
+        index = self._check_scalar_index(index)
+        self._sanitize(np.asarray([index], dtype=np.int64), 0)
         old = int(self.data[index])
         self.data[index] = old + value
         self._record(1, 0, 1)
         return old
 
     def atomic_exch(self, index: int, value: int) -> int:
+        index = self._check_scalar_index(index)
+        self._sanitize(np.asarray([index], dtype=np.int64), 0)
         old = int(self.data[index])
         self.data[index] = value
         self._record(1, 0, 1)
         return old
 
     def atomic_cas(self, index: int, compare: int, value: int) -> int:
+        index = self._check_scalar_index(index)
+        self._sanitize(np.asarray([index], dtype=np.int64), 0)
         old = int(self.data[index])
         if old == compare:
             self.data[index] = value
@@ -113,26 +175,29 @@ class AtomicArray:
     # -- batch atomics: one op per simulated thread ----------------------
     def atomic_min_many(self, indices, values) -> None:
         """All threads issue ``atomic_min(indices[i], values[i])``."""
-        idx = _as_index_array(indices)
+        idx = self._check_batch_indices(_as_index_array(indices))
         vals = np.asarray(values, dtype=self.data.dtype)
         if idx.size != vals.size:
             raise DeviceError("indices and values must have equal length")
+        self._sanitize(idx, np.arange(idx.size, dtype=np.int64))
         self._record(*collision_profile(idx))
         np.minimum.at(self.data, idx, vals)
 
     def atomic_max_many(self, indices, values) -> None:
-        idx = _as_index_array(indices)
+        idx = self._check_batch_indices(_as_index_array(indices))
         vals = np.asarray(values, dtype=self.data.dtype)
         if idx.size != vals.size:
             raise DeviceError("indices and values must have equal length")
+        self._sanitize(idx, np.arange(idx.size, dtype=np.int64))
         self._record(*collision_profile(idx))
         np.maximum.at(self.data, idx, vals)
 
     def atomic_add_many(self, indices, values) -> None:
-        idx = _as_index_array(indices)
+        idx = self._check_batch_indices(_as_index_array(indices))
         vals = np.asarray(values, dtype=self.data.dtype)
         if idx.size != vals.size:
             raise DeviceError("indices and values must have equal length")
+        self._sanitize(idx, np.arange(idx.size, dtype=np.int64))
         self._record(*collision_profile(idx))
         np.add.at(self.data, idx, vals)
 
@@ -140,10 +205,11 @@ class AtomicArray:
         """All threads exchange; the *last* thread (highest thread id)
         wins, matching a serialized ascending-id schedule.  Returns the
         values each thread observed as 'old' under that schedule."""
-        idx = _as_index_array(indices)
+        idx = self._check_batch_indices(_as_index_array(indices))
         vals = np.asarray(values, dtype=self.data.dtype)
         if idx.size != vals.size:
             raise DeviceError("indices and values must have equal length")
+        self._sanitize(idx, np.arange(idx.size, dtype=np.int64))
         self._record(*collision_profile(idx))
         old = np.empty_like(vals)
         for i in range(idx.size):  # serialized semantics, order = thread id
@@ -158,10 +224,11 @@ class AtomicArray:
         The conflict log uses this to discover whether a thread's TID
         became the bucket minimum.
         """
-        idx = _as_index_array(indices)
+        idx = self._check_batch_indices(_as_index_array(indices))
         vals = np.asarray(values, dtype=self.data.dtype)
         if idx.size != vals.size:
             raise DeviceError("indices and values must have equal length")
+        self._sanitize(idx, np.arange(idx.size, dtype=np.int64))
         self._record(*collision_profile(idx))
         # Deterministic serialization without a Python loop: sort ops by
         # (address, thread id); within an address, thread i observes the

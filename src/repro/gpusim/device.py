@@ -24,7 +24,7 @@ from typing import Iterator
 from repro.errors import DeviceError
 from repro.gpusim.config import DeviceConfig
 from repro.gpusim.costmodel import CostModel
-from repro.gpusim.kernel import KernelContext, LaunchGeometry
+from repro.gpusim.kernel import KernelContext, LaunchGeometry, SanitizerHook
 from repro.gpusim.memory import MemoryManager
 from repro.gpusim.profiler import Profiler, TimelineEntry
 from repro.gpusim.stream import Event, Stream
@@ -42,6 +42,19 @@ class Device:
         self.memory = MemoryManager(self.config)
         self.profiler = Profiler()
         self._streams: dict[str, Stream] = {DEFAULT_STREAM: Stream(DEFAULT_STREAM)}
+        #: Optional sanitizer (see :mod:`repro.analysis.sanitizer`).
+        #: When attached, every kernel launch opens a sanitizer epoch and
+        #: the launch context carries the hook for instrumented code.
+        self.sanitizer: SanitizerHook | None = None
+
+    def attach_sanitizer(self, sanitizer: SanitizerHook | None) -> None:
+        """Attach (or detach, with ``None``) a shadow-access recorder.
+
+        The memory manager shares it so allocations register shadow
+        buffers automatically.
+        """
+        self.sanitizer = sanitizer
+        self.memory.attach_sanitizer(sanitizer)
 
     # -- streams -----------------------------------------------------------
     def stream(self, name: str = DEFAULT_STREAM) -> Stream:
@@ -72,7 +85,16 @@ class Device:
         if geometry is None:
             geometry = LaunchGeometry.for_threads(int(threads))
         ctx = KernelContext(name, geometry, self.config)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            ctx.sanitizer = sanitizer
+            sanitizer.begin_kernel(name)
         yield ctx
+        if sanitizer is not None:
+            # Kernel completion is a synchronization point: analyze the
+            # epoch's shadow log.  (If the body raised, the epoch is
+            # discarded by the next begin_kernel instead.)
+            sanitizer.end_kernel()
         timing = self.cost_model.kernel_timing(ctx.stats)
         s = self.stream(stream)
         start = s.time_ns

@@ -19,6 +19,10 @@ tuples operating on named per-lane registers:
 ``("atomic_min"|"atomic_add", mem, addr, src, old)``
 ``("iflt", a, b)`` / ``("ifeq", a, b)``   begin masked region where a<b / a==b
 ``("else",)`` / ``("endif",)``     close/flip the masked region
+``("barrier",)``                   block-wide sync point (a no-op
+                                   functionally; tells an attached
+                                   sanitizer that accesses before and
+                                   after cannot race)
 ``("halt",)``                      stop all lanes
 
 Warp-communication primitives (the delayed-update merge of the paper's
@@ -74,13 +78,30 @@ class Warp:
         program: list[tuple],
         memory: dict[str, np.ndarray | AtomicArray] | None = None,
         active: np.ndarray | None = None,
+        sanitizer=None,
+        thread_base: int = 0,
     ) -> WarpStats:
         """Interpret ``program`` over all lanes; returns warp statistics.
 
         ``active`` optionally masks off lanes from the start (e.g. a
-        partially-filled trailing warp).
+        partially-filled trailing warp).  When a ``sanitizer``
+        (:class:`~repro.gpusim.kernel.SanitizerHook`) is passed, every
+        ``ld``/``st``/atomic is logged with thread id
+        ``thread_base + lane`` and ``("barrier",)`` becomes a sync point.
         """
         memory = memory or {}
+        if sanitizer is not None:
+            from repro.analysis.sanitizer import AccessKind
+
+            read_kind, write_kind = AccessKind.READ, AccessKind.WRITE
+        else:
+            read_kind = write_kind = None
+        lane_ids = np.arange(self.width, dtype=np.int64) + int(thread_base)
+
+        def sanitize(mname: str, idx, lanes, kind, atomic: bool = False) -> None:
+            if sanitizer is not None:
+                sanitizer.record(mname, idx, lane_ids[lanes], kind, atomic=atomic)
+
         regs: dict[str, np.ndarray] = {}
         mask = (
             np.ones(self.width, dtype=bool)
@@ -130,14 +151,21 @@ class Warp:
                 _, dst, mname, addr = instr
                 arr = mem(mname)
                 idx = reg(addr)[mask]
+                sanitize(mname, idx, mask, read_kind)
                 reg(dst)[mask] = arr[idx]
             elif op == "st":
                 _, mname, addr, src = instr
                 arr = mem(mname)
-                arr[reg(addr)[mask]] = reg(src)[mask]
+                idx = reg(addr)[mask]
+                sanitize(mname, idx, mask, write_kind)
+                arr[idx] = reg(src)[mask]
             elif op in ("atomic_min", "atomic_add"):
                 _, mname, addr, src, old = instr
+                sanitize(mname, reg(addr)[mask], mask, write_kind, atomic=True)
                 self._atomic(op, memory[mname], reg, addr, src, old, mask, stats)
+            elif op == "barrier":
+                if sanitizer is not None:
+                    sanitizer.barrier()
             elif op == "shfl_up":
                 _, dst, src, delta = instr
                 delta = int(delta)

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import DeviceError, OutOfDeviceMemory
 from repro.gpusim.config import DeviceConfig
+from repro.gpusim.kernel import SanitizerHook
 
 
 class MemorySpace(enum.Enum):
@@ -36,15 +37,47 @@ class MemorySpace(enum.Enum):
 
 @dataclass
 class DeviceBuffer:
-    """An allocation in one of the simulated memory spaces."""
+    """An allocation in one of the simulated memory spaces.
+
+    :meth:`load` / :meth:`store` are the *instrumented* access path:
+    they perform the gather/scatter and, when the owning manager has a
+    sanitizer attached, log each access into its shadow log so
+    racecheck/memcheck see plain (non-atomic) traffic.  Kernel code may
+    still index :attr:`array` directly — that models an access the
+    sanitizer cannot see, exactly like uninstrumented CUDA.
+    """
 
     name: str
     array: np.ndarray
     space: MemorySpace
+    sanitizer: SanitizerHook | None = field(default=None, repr=False, compare=False)
 
     @property
     def nbytes(self) -> int:
         return int(self.array.nbytes)
+
+    def load(self, indices, threads=0) -> np.ndarray:
+        """Sanitizer-visible gather: ``array[indices]`` with each access
+        attributed to ``threads`` (scalar broadcasts)."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if self.sanitizer is not None:
+            from repro.analysis.sanitizer import AccessKind
+
+            self.sanitizer.record(self.name, idx, threads, AccessKind.READ)
+        return self.array[np.clip(idx, 0, max(self.array.size - 1, 0))]
+
+    def store(self, indices, values, threads=0) -> None:
+        """Sanitizer-visible scatter: ``array[indices] = values``."""
+        idx = np.atleast_1d(np.asarray(indices, dtype=np.int64))
+        if self.sanitizer is not None:
+            from repro.analysis.sanitizer import AccessKind
+
+            self.sanitizer.record(self.name, idx, threads, AccessKind.WRITE)
+        ok = (idx >= 0) & (idx < self.array.size)
+        vals = np.broadcast_to(
+            np.asarray(values, dtype=self.array.dtype), idx.shape
+        )
+        self.array[idx[ok]] = vals[ok]
 
 
 class PageTracker:
@@ -91,6 +124,9 @@ class MemoryManager:
         self.config = config
         self._buffers: dict[str, DeviceBuffer] = {}
         self._device_bytes_used = 0
+        #: Shared with :class:`~repro.gpusim.device.Device` via
+        #: ``attach_sanitizer``; new allocations register shadow buffers.
+        self.sanitizer: SanitizerHook | None = None
         capacity_pages = max(
             1,
             int(
@@ -101,6 +137,17 @@ class MemoryManager:
         )
         self.pages = PageTracker(capacity_pages)
 
+    def attach_sanitizer(self, sanitizer: SanitizerHook | None) -> None:
+        """Attach (or detach) a shadow recorder; existing allocations are
+        registered as already-initialized shadow buffers."""
+        self.sanitizer = sanitizer
+        for buf in self._buffers.values():
+            buf.sanitizer = sanitizer
+            if sanitizer is not None:
+                sanitizer.register_buffer(
+                    buf.name, size=int(buf.array.size), initialized=True
+                )
+
     # -- allocation -------------------------------------------------------
     def alloc(
         self,
@@ -108,12 +155,17 @@ class MemoryManager:
         shape,
         dtype=np.int64,
         space: MemorySpace = MemorySpace.DEVICE,
-        fill: int | float = 0,
+        fill: int | float | None = 0,
     ) -> DeviceBuffer:
-        """Allocate a named buffer in the given space."""
+        """Allocate a named buffer in the given space.
+
+        ``fill=None`` models ``cudaMalloc`` without a memset: contents are
+        zeros functionally, but a memcheck-enabled sanitizer treats every
+        slot as uninitialized until first written.
+        """
         if name in self._buffers:
             raise DeviceError(f"buffer {name!r} already allocated")
-        array = np.full(shape, fill, dtype=dtype)
+        array = np.full(shape, 0 if fill is None else fill, dtype=dtype)
         buf = DeviceBuffer(name=name, array=array, space=space)
         if space is MemorySpace.DEVICE:
             if self._device_bytes_used + buf.nbytes > self.config.device_memory_bytes:
@@ -123,6 +175,11 @@ class MemoryManager:
                 )
             self._device_bytes_used += buf.nbytes
         self._buffers[name] = buf
+        if self.sanitizer is not None:
+            buf.sanitizer = self.sanitizer
+            self.sanitizer.register_buffer(
+                name, size=int(array.size), initialized=fill is not None
+            )
         return buf
 
     def free(self, name: str) -> None:

@@ -1,0 +1,203 @@
+"""Determinism-linter tests: static AST findings on seeded
+nondeterministic procedures, clean verdicts on the real workloads'
+procedures, and the dynamic replay twin."""
+
+from __future__ import annotations
+
+import random
+
+from helpers import build_bank, txn
+
+from repro.analysis import (
+    lint_procedure,
+    lint_registry,
+    lint_source,
+    replay_procedure,
+    replay_transactions,
+)
+from repro.txn.procedures import ProcedureRegistry
+
+
+def _kinds(findings) -> set[str]:
+    return {f.kind for f in findings}
+
+
+# ---------------------------------------------------------------------------
+# static pass: seeded violations
+# ---------------------------------------------------------------------------
+def test_random_module_flagged():
+    src = """
+    def proc(ctx, key):
+        import random
+        ctx.write("t", key, "col", random.randint(0, 10))
+    """
+    findings = lint_source("proc", src)
+    assert "nondeterministic-module" in _kinds(findings)
+    assert all(f.subject == "proc" for f in findings)
+
+
+def test_random_usage_without_import_flagged():
+    src = """
+    def proc(ctx, key):
+        ctx.write("t", key, "col", random.random())
+    """
+    assert "nondeterministic-call" in _kinds(lint_source("proc", src))
+
+
+def test_time_and_uuid_flagged():
+    src = """
+    def proc(ctx, key):
+        from time import time
+        import uuid
+        ctx.write("t", key, "col", 1)
+    """
+    findings = lint_source("proc", src)
+    assert sum(f.kind == "nondeterministic-module" for f in findings) == 2
+
+
+def test_datetime_now_flagged():
+    src = """
+    def proc(ctx, key):
+        ctx.write("t", key, "ts", datetime.now().timestamp())
+    """
+    assert "nondeterministic-call" in _kinds(lint_source("proc", src))
+
+
+def test_numpy_random_flagged():
+    src = """
+    def proc(ctx, key):
+        ctx.write("t", key, "col", int(np.random.rand() * 10))
+    """
+    assert "nondeterministic-call" in _kinds(lint_source("proc", src))
+
+
+def test_id_and_hash_builtins_flagged():
+    src = """
+    def proc(ctx, key):
+        ctx.write("t", key, "a", id(ctx) % 100)
+        ctx.write("t", key, "b", hash((key, 1)))
+    """
+    findings = lint_source("proc", src)
+    assert sum(f.kind == "nondeterministic-call" for f in findings) == 2
+
+
+def test_set_iteration_feeding_writes_flagged():
+    src = """
+    def proc(ctx, *keys):
+        for k in set(keys):
+            ctx.write("t", k, "col", 1)
+    """
+    assert "unordered-iteration" in _kinds(lint_source("proc", src))
+
+
+def test_set_literal_via_variable_flagged():
+    src = """
+    def proc(ctx, a, b):
+        targets = {a, b}
+        for k in targets:
+            ctx.add("t", k, "col", 1)
+    """
+    assert "unordered-iteration" in _kinds(lint_source("proc", src))
+
+
+def test_set_iteration_without_writes_is_clean():
+    src = """
+    def proc(ctx, *keys):
+        total = 0
+        for k in set(keys):
+            total += ctx.read("t", k, "col")
+        ctx.write("t", keys[0], "sum", total)
+    """
+    # Reading in unordered order is commutative here; only
+    # iteration that feeds writes is flagged.
+    assert "unordered-iteration" not in _kinds(lint_source("proc", src))
+
+
+def test_list_iteration_feeding_writes_is_clean():
+    src = """
+    def proc(ctx, *keys):
+        for k in sorted(keys):
+            ctx.write("t", k, "col", 1)
+    """
+    assert lint_source("proc", src) == []
+
+
+def test_unparseable_source_reported():
+    assert _kinds(lint_source("proc", "def proc(:")) == {"unparseable"}
+
+
+def test_unlintable_builtin_reported():
+    assert _kinds(lint_procedure("builtin", len)) == {"unlintable"}
+
+
+# ---------------------------------------------------------------------------
+# static pass: real registries are clean
+# ---------------------------------------------------------------------------
+def test_bank_registry_is_clean():
+    _, registry = build_bank()
+    assert lint_registry(registry) == []
+
+
+def test_seeded_registry_procedure_detected():
+    registry = ProcedureRegistry()
+
+    @registry.register("roulette")
+    def roulette(ctx, key):
+        ctx.write("accounts", key, "balance", random.randint(0, 100))
+
+    findings = lint_registry(registry)
+    assert findings and all(f.subject == "roulette" for f in findings)
+    assert "nondeterministic-module" in _kinds(findings) or (
+        "nondeterministic-call" in _kinds(findings)
+    )
+
+
+# ---------------------------------------------------------------------------
+# dynamic twin
+# ---------------------------------------------------------------------------
+def test_replay_clean_procedure_no_findings():
+    db, registry = build_bank()
+    assert replay_procedure(db, "transfer", registry.get("transfer"), (1, 2, 5)) == []
+
+
+def test_replay_detects_divergence():
+    db, registry = build_bank()
+    rng = random.Random(3)
+
+    @registry.register("flaky")
+    def flaky(ctx, key):
+        ctx.write("accounts", rng.randrange(16), "balance", 1)
+
+    findings = replay_procedure(db, "flaky", registry.get("flaky"), (0,))
+    assert _kinds(findings) == {"replay-divergence"}
+    assert findings[0].subject == "flaky"
+
+
+def test_replay_detects_outcome_divergence():
+    db, registry = build_bank()
+    state = {"n": 0}
+
+    @registry.register("sometimes")
+    def sometimes(ctx, key):
+        state["n"] += 1
+        if state["n"] % 2 == 0:
+            ctx.abort("every other run")
+        ctx.write("accounts", key, "balance", 1)
+
+    findings = replay_procedure(db, "sometimes", registry.get("sometimes"), (0,))
+    assert _kinds(findings) == {"replay-divergence"}
+    assert "outcome" in findings[0].message
+
+
+def test_replay_transactions_samples_per_procedure():
+    db, registry = build_bank()
+    batch = [txn("transfer", 1, 2, 5), txn("deposit", 3, 7),
+             txn("transfer", 4, 5, 1), txn("audit", 1, 2)]
+    assert replay_transactions(db, registry, batch) == []
+
+
+def test_replay_logic_abort_is_deterministic():
+    """A procedure that always rolls back replays identically — stable
+    aborts are not divergence."""
+    db, registry = build_bank()
+    assert replay_procedure(db, "bad", registry.get("bad"), (1,)) == []
