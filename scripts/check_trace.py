@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Schema gate for Chrome ``trace_event`` JSON emitted by repro.trace.
+
+Validates a trace file written by ``python -m repro.trace`` (or any
+:meth:`Tracer.write` call) without importing the package, so CI can
+check the artifact the same way Perfetto would load it:
+
+* ``traceEvents`` exists and is non-empty;
+* every complete ("X") event has a name, a numeric ``ts`` and a
+  non-negative ``dur``;
+* per track (``tid``), complete events form a proper span tree — a
+  span overlapping an open span must be fully contained in it;
+* spans cover at least ``--min-tracks`` distinct stream tracks;
+* all three engine phases (``phase:execute``, ``phase:conflict``,
+  ``phase:writeback``) appear as spans;
+* async begin/end ("b"/"e") events pair up id-for-id, and flow
+  start/finish ("s"/"f") events pair up likewise.
+
+Exit codes: 0 — trace is well-formed; 1 — validation failed;
+2 — usage error (missing/unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+REQUIRED_PHASES = ("phase:execute", "phase:conflict", "phase:writeback")
+
+#: Nesting tolerance in µs.  Timestamps are simulated nanoseconds
+#: divided by 1e3, so adjacent spans can disagree by float-rounding
+#: (~1e-13 µs); 1e-6 µs (a picosecond) is far above that noise and far
+#: below the 1 ns trace resolution.
+EPS_US = 1e-6
+
+
+def check_complete_events(events: list[dict], errors: list[str]) -> dict[int, list]:
+    """Field checks on "X" events; returns spans grouped by tid."""
+    by_tid: dict[int, list] = {}
+    for i, ev in enumerate(events):
+        name = ev.get("name")
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if not name:
+            errors.append(f"X event #{i} has no name")
+            continue
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"span {name!r}: bad ts {ts!r}")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"span {name!r}: bad dur {dur!r}")
+            continue
+        by_tid.setdefault(ev.get("tid", 0), []).append((ts, ts + dur, name))
+    return by_tid
+
+
+def check_nesting(by_tid: dict[int, list], errors: list[str]) -> None:
+    """Spans on one track must nest: contained or disjoint, never partial."""
+    for tid, spans in sorted(by_tid.items()):
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple] = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start + EPS_US:
+                stack.pop()
+            if stack and end > stack[-1][1] + EPS_US:
+                errors.append(
+                    f"track {tid}: span {name!r} [{start}, {end}] escapes "
+                    f"open span {stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}]"
+                )
+                continue
+            stack.append((start, end, name))
+
+
+def check_pairs(events: list[dict], begin: str, end: str, kind: str,
+                errors: list[str]) -> None:
+    """Events of phase ``begin`` and ``end`` must pair up id-for-id."""
+    opens: dict[object, int] = {}
+    for ev in events:
+        key = (ev.get("cat"), ev.get("id"))
+        if ev.get("ph") == begin:
+            opens[key] = opens.get(key, 0) + 1
+        elif ev.get("ph") == end:
+            if opens.get(key, 0) <= 0:
+                errors.append(f"{kind} end without begin: {key}")
+            else:
+                opens[key] -= 1
+    for key, count in opens.items():
+        if count:
+            errors.append(f"{kind} begin without end: {key} (x{count})")
+
+
+def validate(trace: dict, min_tracks: int = 2) -> list[str]:
+    errors: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents missing or empty"]
+    by_ph: dict[str, list] = {}
+    for ev in events:
+        by_ph.setdefault(ev.get("ph", "?"), []).append(ev)
+
+    complete = by_ph.get("X", [])
+    if not complete:
+        errors.append("no complete (X) span events")
+    by_tid = check_complete_events(complete, errors)
+    check_nesting(by_tid, errors)
+    if len(by_tid) < min_tracks:
+        errors.append(
+            f"spans cover {len(by_tid)} track(s), expected >= {min_tracks}"
+        )
+    names = {ev.get("name") for ev in complete}
+    for phase in REQUIRED_PHASES:
+        if phase not in names:
+            errors.append(f"missing phase span {phase!r}")
+    check_pairs(events, "b", "e", "async span", errors)
+    check_pairs(events, "s", "f", "flow", errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace_event JSON file to validate")
+    parser.add_argument(
+        "--min-tracks", type=int, default=2,
+        help="minimum distinct stream tracks carrying spans (default: 2)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        with open(args.trace) as fh:
+            trace = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot load {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    errors = validate(trace, min_tracks=args.min_tracks)
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    events = trace["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    tracks = len({e.get("tid") for e in events if e.get("ph") == "X"})
+    print(f"OK: {args.trace}: {spans} spans on {tracks} tracks, "
+          f"{len(events)} events total")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,11 +32,18 @@ sys.path.insert(
 GATE_BATCH = 4096  # 2^12
 DEFAULT_ALLOWED_FACTOR = 1.30
 
+#: Measured batches per check; the per-phase minimum over them is the
+#: estimator.  On a busy shared host three rounds is not enough for the
+#: min to converge (identical code has been observed spanning 290-410 ms
+#: round to round), so the gate takes more samples rather than a wider
+#: allowed factor — the limit stays equally strict on the true cost.
+DEFAULT_ROUNDS = 8
+
 
 def check(
     baseline_path: str,
     allowed_factor: float = DEFAULT_ALLOWED_FACTOR,
-    rounds: int = 3,
+    rounds: int = DEFAULT_ROUNDS,
 ) -> int:
     from repro.bench import wallclock
 
@@ -90,7 +97,8 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when measured > baseline * this (default 1.30)",
     )
     parser.add_argument(
-        "--rounds", type=int, default=3, help="measured batches (min is taken)"
+        "--rounds", type=int, default=DEFAULT_ROUNDS,
+        help="measured batches (min is taken)",
     )
     args = parser.parse_args(argv)
     return check(args.baseline, args.allowed_factor, args.rounds)

@@ -42,6 +42,23 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def format_metrics(summary: dict, title: str = "Observability metrics") -> str:
+    """Render a :meth:`RunStats.metrics_summary` block as text.
+
+    The summary is grouped (``{"atomic": {...}, "warp": {...}, ...}``);
+    each group becomes ``group.key  value`` rows so a traced bench run
+    prints its contention diagnostics under the main result table.
+    """
+    rows = []
+    for group, values in summary.items():
+        if isinstance(values, dict):
+            for key, value in values.items():
+                rows.append([f"{group}.{key}", value])
+        else:
+            rows.append([group, values])
+    return format_table(title, ["metric", "value"], rows)
+
+
 def mtps(tps: float) -> float:
     """Transactions/s in the paper's 10^6 unit."""
     return tps / 1e6

@@ -25,6 +25,9 @@ class SteadyStateResult:
     #: device wall-clock of the whole run; under batch-to-batch
     #: pipelining this is less than the sum of per-batch latencies
     makespan_ns: float = 0.0
+    #: metrics-registry snapshot when the engine ran with
+    #: ``LTPGConfig.trace`` (None on untraced runs)
+    metrics: dict | None = None
 
     @property
     def tps(self) -> float:
@@ -77,7 +80,8 @@ def steady_state_run(
         scheduler.requeue_aborted(result.aborted)
         run.add(result.stats)
     makespan = engine.device.elapsed_ns() - start_ns
-    return SteadyStateResult(run=run, makespan_ns=makespan)
+    metrics = engine.metrics.snapshot() if engine.metrics is not None else None
+    return SteadyStateResult(run=run, makespan_ns=makespan, metrics=metrics)
 
 
 def steady_state_baseline_run(

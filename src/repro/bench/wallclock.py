@@ -29,7 +29,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.bench.common import ltpg_config, tpcc_bench
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_metrics, format_table
+from repro.core.stats import RunStats
 
 #: The paper's batch-size sweep (Fig. 6a uses the same span).
 BATCH_SIZES: tuple[int, ...] = tuple(2**k for k in range(10, 17))
@@ -48,6 +49,9 @@ class WallclockResult:
     #: path name -> batch size -> phase -> seconds per batch (min of rounds)
     seconds: dict[str, dict[int, dict[str, float]]] = field(default_factory=dict)
     meta: dict[str, object] = field(default_factory=dict)
+    #: observability summary (``RunStats.metrics_summary``) from a short
+    #: traced run at the headline batch — the timed sweep stays untraced
+    metrics: dict = field(default_factory=dict)
 
     def exec_conflict(self, path: str, batch: int) -> float:
         phases = self.seconds[path][batch]
@@ -75,7 +79,7 @@ class WallclockResult:
             ]
             for b in sorted(self.seconds.get("columnar", {}))
         ]
-        return format_table(
+        table = format_table(
             "Host wall-clock per batch: columnar vs reference op path "
             "(TPC-C 50/50)",
             headers,
@@ -83,6 +87,11 @@ class WallclockResult:
             note="speedup = reference / columnar on execute+conflict; "
             "simulated-time results are identical by construction.",
         )
+        if self.metrics:
+            table += "\n\n" + format_metrics(
+                self.metrics, title="Observability (traced headline batch)"
+            )
+        return table
 
     def to_json(self) -> dict:
         return {
@@ -97,6 +106,7 @@ class WallclockResult:
                 for b in sorted(self.seconds.get("columnar", {}))
                 if b in self.seconds.get("reference", {})
             },
+            "metrics": self.metrics,
         }
 
     def write(self, path: str) -> None:
@@ -139,6 +149,36 @@ def measure_path(
     return best
 
 
+def measure_metrics(
+    batch_size: int = HEADLINE_BATCH,
+    scale: float = 1.0,
+    batches: int = 2,
+    warehouses: int = 32,
+    neworder_pct: int = 50,
+    seed: int = 7,
+) -> dict:
+    """Observability summary from a short traced columnar run.
+
+    Runs a few batches at the (scaled) headline batch size with
+    ``LTPGConfig.trace`` enabled and returns
+    :meth:`RunStats.metrics_summary`.  This is a separate run on purpose:
+    the timed sweep above never pays span/metrics bookkeeping.
+    """
+    bench = tpcc_bench(
+        warehouses, neworder_pct=neworder_pct, batch_size=batch_size,
+        scale=scale, seed=seed,
+    )
+    config = dataclasses.replace(
+        ltpg_config(bench.batch_size), columnar_ops=True, trace=True
+    )
+    engine = bench.engine(config)
+    run_stats = RunStats()
+    for _ in range(max(batches, 1)):
+        batch = bench.generator.make_batch(bench.batch_size)
+        run_stats.add(engine.run_batch(batch).stats)
+    return run_stats.metrics_summary()
+
+
 def run(
     scale: float = 1.0,
     rounds: int = 2,
@@ -167,6 +207,10 @@ def run(
                 warehouses=warehouses, neworder_pct=neworder_pct, seed=seed,
             )
         result.seconds[path] = by_batch
+    result.metrics = measure_metrics(
+        scale=scale, warehouses=warehouses, neworder_pct=neworder_pct,
+        seed=seed,
+    )
     return result
 
 

@@ -52,6 +52,14 @@ class LTPGConfig:
     #: host time and exists for analysis runs, not production batches.
     sanitize: bool = False
 
+    #: Attach the tracing + metrics subsystem (:mod:`repro.trace`): the
+    #: engine records batch/phase/kernel spans over the simulated clock
+    #: (exportable as Chrome trace_event JSON) and populates a
+    #: counter/gauge/histogram registry with the contention signals the
+    #: cost model computes.  Off by default, like ``sanitize``: span
+    #: bookkeeping costs host time the perf gate must not see.
+    trace: bool = False
+
     #: Host implementation detail, not a paper toggle: consume the
     #: execute-phase op stream through the columnar NumPy path (True) or
     #: the retained per-op reference loop (False).  Both produce

@@ -137,6 +137,7 @@ class ConflictLog:
         np.minimum.at(minima, keys, tids)
         self._touched.append(np.unique(keys))
         if ctx is not None:
+            ctx.add_trace_arg(f"{buffer}.registrations", int(keys.size))
             if ctx.sanitizer is not None:
                 # The atomicMin itself: per-TID atomic writes to the
                 # minima array, addressed by the encoded conflict key.
@@ -268,6 +269,36 @@ class ConflictLog:
             hit = in_seg & (seg[safe] == insert_keys[mask])
             out[mask] = np.where(hit, self._ins_tids[lo:hi][safe], NO_TID)
         return out
+
+    # -- per-batch observability (repro.trace) --------------------------------
+    def batch_metrics(self) -> dict[str, float]:
+        """This batch's hash-table pressure, read *before*
+        :meth:`end_batch` wipes the touched set.
+
+        ``load_factor`` is distinct registered keys over the key space —
+        the quantity whose growth drives the dynamic-bucket rule;
+        ``expanded_slots`` counts the extra sub-slots the large buckets
+        of popular tables allocated (0 when every ``s_u`` is 1).
+        """
+        capacity = int(self._base[-1])
+        if self._touched:
+            touched = int(np.unique(np.concatenate(self._touched)).size)
+        else:
+            touched = 0
+        expanded_tables = 0
+        expanded_slots = 0
+        for t in range(self._db.num_tables):
+            s_u = self.bucket_size(t)
+            if s_u > 1:
+                expanded_tables += 1
+                expanded_slots += int(self._rows[t] * self._groups[t]) * (s_u - 1)
+        return {
+            "capacity": capacity,
+            "touched_keys": touched,
+            "load_factor": touched / capacity if capacity else 0.0,
+            "expanded_tables": expanded_tables,
+            "expanded_slots": expanded_slots,
+        }
 
     # -- memory accounting (Table VIII) --------------------------------------
     def memory_report(self) -> tuple[int, int]:

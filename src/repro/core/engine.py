@@ -40,6 +40,7 @@ from repro.core.split_flags import FlagGroups
 from repro.core.stats import BatchStats, RunStats
 from repro.errors import KeyNotFound, TransactionAborted, TransactionError
 from repro.gpusim.device import Device
+from repro.gpusim.occupancy import KernelResources, occupancy
 from repro.storage.database import Database
 from repro.storage.wal import BatchLog
 from repro.txn.batch import BatchScheduler
@@ -146,6 +147,17 @@ class LTPGEngine:
 
             self.sanitizer = Sanitizer()
             self.device.attach_sanitizer(self.sanitizer)
+        #: Span recorder + metrics registry (:mod:`repro.trace`),
+        #: attached behind ``config.trace`` — same contract as
+        #: ``sanitize``: zero bookkeeping on the hot path when off.
+        self.tracer = None
+        self.metrics = None
+        if self.config.trace:
+            from repro.trace import MetricsRegistry, Tracer
+
+            self.tracer = Tracer()
+            self.metrics = MetricsRegistry()
+            self.device.attach_tracer(self.tracer)
         self.batch_log = BatchLog()
         self.last_heats: dict[int, TableHeat] = {}
         # Host wall-clock spent in each phase of the most recent batch
@@ -189,16 +201,20 @@ class LTPGEngine:
         # -- phase 1: execute -------------------------------------------
         exec_data = _ExecutionData()
         host_t0 = time.perf_counter()
+        self._trace_begin_phase("phase:execute")
         with device.kernel(
             "execute", threads=max(1, len(transactions)), stream=self.compute_stream
         ) as ctx:
             self._execute_phase(transactions, exec_data, ctx)
         exec_ns = device.profiler.entries[-1].duration_ns
         exec_kernel_stats = ctx.stats
+        exec_geometry = ctx.geometry
         self._phase_sync()
+        self._trace_end_phase()
         host_t1 = time.perf_counter()
 
         # -- phase 2: conflict detection --------------------------------
+        self._trace_begin_phase("phase:conflict")
         with device.kernel(
             "conflict",
             threads=max(1, exec_data.total_ops),
@@ -207,10 +223,12 @@ class LTPGEngine:
             flags = self._conflict_phase(transactions, exec_data, ctx)
         conflict_ns = device.profiler.entries[-1].duration_ns
         self._phase_sync()
+        self._trace_end_phase()
         host_t2 = time.perf_counter()
 
         # -- phase 3: write-back -----------------------------------------
         committed_mask = commit_mask(flags, self.config.logical_reordering)
+        self._trace_begin_phase("phase:writeback")
         with device.kernel(
             "writeback",
             threads=max(1, int(committed_mask.sum())),
@@ -221,6 +239,7 @@ class LTPGEngine:
             )
         writeback_ns = device.profiler.entries[-1].duration_ns
         self._phase_sync()
+        self._trace_end_phase()
         host_t3 = time.perf_counter()
 
         # -- device -> host: read/write sets + conflict flags -----------
@@ -266,6 +285,13 @@ class LTPGEngine:
         result.stats.registered_reads = int(exec_data.read_keys.size)
         result.stats.registered_writes = int(exec_data.write_keys.size)
         result.stats.max_atomic_chain = exec_kernel_stats.atomic_max_chain
+        result.stats.atomic_ops = exec_kernel_stats.atomic_ops
+        result.stats.atomic_serialized = exec_kernel_stats.atomic_serialized
+        result.stats.divergent_branches = exec_kernel_stats.divergent_branches
+        result.stats.occupancy = occupancy(
+            KernelResources(threads_per_block=exec_geometry.block)
+        ).occupancy
+        self._record_observability(result.stats, start_ns, end_ns)
         self.conflict_log.end_batch()
         self.batch_log.record_outcome(
             batch_index,
@@ -282,6 +308,86 @@ class LTPGEngine:
         self.device.stream(self.compute_stream).enqueue(
             self.device.cost_model.sync_ns()
         )
+
+    # ------------------------------------------------------------------
+    # Tracing + metrics (``config.trace``).  Phase spans live on the
+    # compute stream's track and wrap the phase kernel plus its closing
+    # sync, so the span tree per stream reads batch -> phase -> kernel;
+    # whole-batch envelopes are async spans (they overlap under
+    # pipelining).  Timestamps come off the stream clocks — never host
+    # time — so identical runs produce identical traces.
+    def _trace_begin_phase(self, name: str) -> None:
+        if self.tracer is not None:
+            clock = self.device.stream(self.compute_stream).time_ns
+            self.tracer.begin(name, self.compute_stream, clock, cat="phase")
+
+    def _trace_end_phase(self) -> None:
+        if self.tracer is not None:
+            clock = self.device.stream(self.compute_stream).time_ns
+            self.tracer.end(self.compute_stream, clock)
+
+    def _record_observability(
+        self, stats: BatchStats, start_ns: float, end_ns: float
+    ) -> None:
+        """Populate the trace envelope, counter series and metrics
+        registry for one finished batch (no-op when tracing is off)."""
+        if self.tracer is None and self.metrics is None:
+            return
+        log_metrics = self.conflict_log.batch_metrics()
+        stats.bucket_load_factor = float(log_metrics["load_factor"])
+        stats.bucket_expanded_slots = int(log_metrics["expanded_slots"])
+        if self.tracer is not None:
+            self.tracer.async_span(
+                f"batch {stats.batch_index}",
+                id=stats.batch_index,
+                start_ns=start_ns,
+                end_ns=end_ns,
+                args={
+                    "num_txns": stats.num_txns,
+                    "committed": stats.committed,
+                    "aborted": stats.aborted,
+                    "logic_aborted": stats.logic_aborted,
+                    "commit_rate": stats.commit_rate,
+                },
+            )
+            self.tracer.counter(
+                "commit_rate", end_ns, value=stats.commit_rate
+            )
+            self.tracer.counter(
+                "atomics", end_ns,
+                ops=stats.atomic_ops, serialized=stats.atomic_serialized,
+            )
+            self.tracer.counter(
+                "conflict_log_load", end_ns,
+                load_factor=stats.bucket_load_factor,
+            )
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("txn.admitted").inc(stats.num_txns)
+            m.counter("txn.committed").inc(stats.committed)
+            m.counter("txn.aborted").inc(stats.aborted)
+            m.counter("txn.logic_aborted").inc(stats.logic_aborted)
+            m.counter("atomic.ops").inc(stats.atomic_ops)
+            m.counter("atomic.serialized").inc(stats.atomic_serialized)
+            m.gauge("atomic.max_chain").set(stats.max_atomic_chain)
+            m.counter("warp.divergent_branches").inc(stats.divergent_branches)
+            m.gauge("kernel.occupancy.execute").set(stats.occupancy)
+            m.gauge("conflict_log.load_factor").set(stats.bucket_load_factor)
+            m.gauge("conflict_log.expanded_slots").set(
+                stats.bucket_expanded_slots
+            )
+            m.counter("conflict_log.registered_reads").inc(
+                stats.registered_reads
+            )
+            m.counter("conflict_log.registered_writes").inc(
+                stats.registered_writes
+            )
+            reasons = m.histogram("engine.abort_reason")
+            for reason, count in stats.abort_reasons.items():
+                reasons.observe(reason, count)
+            depths = m.histogram("engine.reschedule_depth")
+            for attempts, count in stats.commit_attempts.items():
+                depths.observe(attempts - 1, count)
 
     # ------------------------------------------------------------------
     # Shadow-access recording (``config.sanitize``).  Addresses are

@@ -43,6 +43,19 @@ class BatchStats:
     registered_reads: int = 0
     registered_writes: int = 0
     max_atomic_chain: int = 0
+    #: execute-kernel atomic traffic: ops issued and how many of them
+    #: serialized behind an earlier op on the same bucket slot (§V-C)
+    atomic_ops: int = 0
+    atomic_serialized: int = 0
+    #: warp-divergence events in the execute kernel (§V-B)
+    divergent_branches: int = 0
+    #: theoretical occupancy of the execute launch (0..1)
+    occupancy: float = 0.0
+    #: conflict-log pressure (populated on traced runs): fraction of the
+    #: key space actually registered, and the extra slots the dynamic
+    #: large buckets allocated this batch
+    bucket_load_factor: float = 0.0
+    bucket_expanded_slots: int = 0
 
     @property
     def commit_rate(self) -> float:
@@ -126,3 +139,78 @@ class RunStats:
         for b in self.batches:
             totals.update(b.abort_reasons)
         return totals
+
+    # -- observability aggregates (the repro.trace metrics surface) ------
+    @property
+    def total_atomic_ops(self) -> int:
+        return sum(b.atomic_ops for b in self.batches)
+
+    @property
+    def total_atomic_serialized(self) -> int:
+        return sum(b.atomic_serialized for b in self.batches)
+
+    @property
+    def atomic_serialization_rate(self) -> float:
+        """Fraction of execute-phase atomics that waited behind another
+        op on the same bucket slot (0 when no atomics were issued)."""
+        ops = self.total_atomic_ops
+        return self.total_atomic_serialized / ops if ops else 0.0
+
+    def commit_attempt_totals(self) -> Counter:
+        """Committed transactions by attempt number over the run."""
+        totals: Counter = Counter()
+        for b in self.batches:
+            totals.update(b.commit_attempts)
+        return totals
+
+    def reschedule_depth_totals(self) -> Counter:
+        """Committed transactions by how many times they were aborted
+        and re-queued first (attempt 1 = depth 0)."""
+        return Counter(
+            {attempts - 1: count
+             for attempts, count in self.commit_attempt_totals().items()}
+        )
+
+    def metrics_summary(self) -> dict:
+        """JSON-ready observability block for bench output."""
+        return {
+            "atomic": {
+                "ops": self.total_atomic_ops,
+                "serialized": self.total_atomic_serialized,
+                "serialization_rate": round(self.atomic_serialization_rate, 6),
+                "max_chain": max(
+                    (b.max_atomic_chain for b in self.batches), default=0
+                ),
+            },
+            "warp": {
+                "divergent_branches": sum(
+                    b.divergent_branches for b in self.batches
+                ),
+                "mean_occupancy": (
+                    sum(b.occupancy for b in self.batches) / len(self.batches)
+                    if self.batches
+                    else 0.0
+                ),
+            },
+            "conflict_log": {
+                "registered_reads": sum(
+                    b.registered_reads for b in self.batches
+                ),
+                "registered_writes": sum(
+                    b.registered_writes for b in self.batches
+                ),
+                "max_load_factor": max(
+                    (b.bucket_load_factor for b in self.batches), default=0.0
+                ),
+                "max_expanded_slots": max(
+                    (b.bucket_expanded_slots for b in self.batches), default=0
+                ),
+            },
+            "abort_reasons": {
+                str(k): v for k, v in sorted(self.abort_reason_totals().items())
+            },
+            "reschedule_depth": {
+                str(k): v
+                for k, v in sorted(self.reschedule_depth_totals().items())
+            },
+        }

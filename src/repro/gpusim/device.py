@@ -28,6 +28,7 @@ from repro.gpusim.kernel import KernelContext, LaunchGeometry, SanitizerHook
 from repro.gpusim.memory import MemoryManager
 from repro.gpusim.profiler import Profiler, TimelineEntry
 from repro.gpusim.stream import Event, Stream
+from repro.trace.tracer import Tracer
 
 #: Name of the stream used when the caller does not pass one.
 DEFAULT_STREAM = "stream0"
@@ -40,12 +41,25 @@ class Device:
         self.config = config or DeviceConfig()
         self.cost_model = CostModel(self.config)
         self.memory = MemoryManager(self.config)
-        self.profiler = Profiler()
         self._streams: dict[str, Stream] = {DEFAULT_STREAM: Stream(DEFAULT_STREAM)}
+        # The profiler shares the stream table so resetting it rewinds
+        # the clocks too (a fresh timeline must start at start_ns=0).
+        self.profiler = Profiler(streams=self._streams)
         #: Optional sanitizer (see :mod:`repro.analysis.sanitizer`).
         #: When attached, every kernel launch opens a sanitizer epoch and
         #: the launch context carries the hook for instrumented code.
         self.sanitizer: SanitizerHook | None = None
+        #: Optional span recorder (see :mod:`repro.trace`).  When
+        #: attached, kernels, transfers and syncs emit spans on their
+        #: stream's track alongside the profiler's flat timeline.
+        self.tracer: Tracer | None = None
+
+    def attach_tracer(self, tracer: Tracer | None) -> None:
+        """Attach (or detach, with ``None``) a span recorder.  Existing
+        streams adopt it so their events emit flow arrows."""
+        self.tracer = tracer
+        for stream in self._streams.values():
+            stream.tracer = tracer
 
     def attach_sanitizer(self, sanitizer: SanitizerHook | None) -> None:
         """Attach (or detach, with ``None``) a shadow-access recorder.
@@ -60,7 +74,7 @@ class Device:
     def stream(self, name: str = DEFAULT_STREAM) -> Stream:
         """Get (creating on first use) the named stream."""
         if name not in self._streams:
-            self._streams[name] = Stream(name)
+            self._streams[name] = Stream(name, tracer=self.tracer)
         return self._streams[name]
 
     def create_event(self, name: str) -> Event:
@@ -103,6 +117,25 @@ class Device:
             TimelineEntry("kernel", name, stream, start, timing.total_ns)
         )
         self.profiler.record_kernel(ctx.stats, timing)
+        if self.tracer is not None:
+            stats = ctx.stats
+            args: dict[str, object] = {
+                "threads": stats.threads,
+                "instructions": stats.instructions,
+                "global_reads": stats.global_reads,
+                "global_writes": stats.global_writes,
+                "atomic_ops": stats.atomic_ops,
+                "atomic_serialized": stats.atomic_serialized,
+                "atomic_max_chain": stats.atomic_max_chain,
+                "divergent_branches": stats.divergent_branches,
+                "launch_ns": timing.launch_ns,
+                "serialization_ns": timing.serialization_ns,
+                "divergence_ns": timing.divergence_ns,
+            }
+            args.update(ctx.trace_args)
+            self.tracer.complete(
+                name, stream, start, timing.total_ns, cat="kernel", args=args
+            )
 
     # -- transfers -------------------------------------------------------------
     def copy(
@@ -126,6 +159,11 @@ class Device:
         self.profiler.record(
             TimelineEntry("transfer", f"{name}:{kind}", stream, start, duration)
         )
+        if self.tracer is not None:
+            self.tracer.complete(
+                f"{name}:{kind}", stream, start, duration,
+                cat="transfer", args={"bytes": nbytes},
+            )
         return duration
 
     # -- synchronization ----------------------------------------------------
@@ -139,6 +177,9 @@ class Device:
         self.profiler.record(
             TimelineEntry("sync", "device_sync", "*", latest, 0.0)
         )
+        if self.tracer is not None:
+            for name in self._streams:
+                self.tracer.instant("device_sync", name, latest)
         return latest
 
     def elapsed_ns(self) -> float:
@@ -149,7 +190,4 @@ class Device:
         """Zero every stream clock and drop profiler history.  Memory
         allocations and unified-memory residency survive (they model
         persistent device state)."""
-        for s in self._streams.values():
-            s.time_ns = 0.0
-            s.busy_ns = 0.0
-        self.profiler.reset()
+        self.profiler.reset()  # rewinds the shared stream clocks too

@@ -129,6 +129,11 @@ class KernelContext:
         #: Optional shadow-access recorder (set by the device at launch
         #: when one is attached); instrumented primitives feed it.
         self.sanitizer: SanitizerHook | None = None
+        #: Free-form annotations that end up in the kernel's trace span
+        #: ``args`` when a tracer is attached (e.g. the conflict log's
+        #: per-side registration counts).  Always recordable; simply
+        #: discarded when no tracer consumes them.
+        self.trace_args: dict[str, float] = {}
 
     # -- explicit event recording ---------------------------------------
     def add_instructions(self, count: int, per_thread: bool = False) -> None:
@@ -155,6 +160,10 @@ class KernelContext:
 
     def add_page_faults(self, count: int) -> None:
         self.stats.um_page_faults += int(count)
+
+    def add_trace_arg(self, key: str, value: float) -> None:
+        """Annotate this launch's trace span (accumulates on repeats)."""
+        self.trace_args[key] = self.trace_args.get(key, 0) + value
 
     def record_atomics(self, total_ops: int, serialized: int, max_chain: int) -> None:
         """Record a batch of atomic operations.

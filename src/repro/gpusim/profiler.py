@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.gpusim.costmodel import KernelTiming
 from repro.gpusim.kernel import KernelStats
+from repro.gpusim.stream import Stream
 
 
 @dataclass(frozen=True)
@@ -29,12 +30,22 @@ class TimelineEntry:
 
 
 class Profiler:
-    """Accumulates timeline entries and per-kernel statistics."""
+    """Accumulates timeline entries and per-kernel statistics.
 
-    def __init__(self) -> None:
+    ``streams`` (the owning device's live stream table, shared by
+    reference so streams created later are covered too) lets
+    :meth:`reset` rewind the clocks along with the history: a profiler
+    reset means "start a fresh timeline", and a fresh timeline whose
+    streams still sit at their old timestamps would record every
+    subsequent entry with a nonzero epoch offset — back-to-back runs on
+    one device would then produce different traces for identical work.
+    """
+
+    def __init__(self, streams: dict[str, Stream] | None = None) -> None:
         self.entries: list[TimelineEntry] = []
         self.kernel_stats: list[KernelStats] = []
         self.kernel_timings: list[KernelTiming] = []
+        self._streams = streams
 
     def record(self, entry: TimelineEntry) -> None:
         self.entries.append(entry)
@@ -44,9 +55,15 @@ class Profiler:
         self.kernel_timings.append(timing)
 
     def reset(self) -> None:
+        """Drop history *and* rewind the stream clocks to zero, so the
+        next run's first entry starts at ``start_ns=0`` again."""
         self.entries.clear()
         self.kernel_stats.clear()
         self.kernel_timings.clear()
+        if self._streams:
+            for stream in self._streams.values():
+                stream.time_ns = 0.0
+                stream.busy_ns = 0.0
 
     # -- queries ------------------------------------------------------------
     def total_ns(self, kind: str | None = None, name_prefix: str = "") -> float:

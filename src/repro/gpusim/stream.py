@@ -10,8 +10,12 @@ batch *n+1* with the execution of batch *n*.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import DeviceError
+
+if TYPE_CHECKING:  # imported for annotations only; no runtime cycle
+    from repro.trace.tracer import Tracer
 
 
 @dataclass
@@ -21,15 +25,20 @@ class Event:
     name: str
     timestamp_ns: float = 0.0
     recorded: bool = False
+    #: flow-arrow id assigned by an attached tracer (-1 = untraced)
+    flow_id: int = -1
 
 
 class Stream:
     """An in-order queue of simulated work with its own clock."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, tracer: "Tracer | None" = None):
         self.name = name
         self.time_ns = 0.0
         self.busy_ns = 0.0
+        #: optional span recorder: record/wait event pairs become flow
+        #: arrows so cross-stream ordering is visible in the trace
+        self.tracer = tracer
         self._destroyed = False
 
     def _check(self) -> None:
@@ -52,6 +61,10 @@ class Stream:
         self._check()
         event.timestamp_ns = self.time_ns
         event.recorded = True
+        if self.tracer is not None:
+            event.flow_id = self.tracer.flow_start(
+                event.name, self.name, event.timestamp_ns
+            )
         return event
 
     def wait_event(self, event: Event) -> None:
@@ -60,6 +73,10 @@ class Stream:
         if not event.recorded:
             raise DeviceError(f"event {event.name!r} has not been recorded")
         self.time_ns = max(self.time_ns, event.timestamp_ns)
+        if self.tracer is not None and event.flow_id >= 0:
+            self.tracer.flow_finish(
+                event.name, event.flow_id, self.name, self.time_ns
+            )
 
     def advance_to(self, time_ns: float) -> None:
         self._check()
