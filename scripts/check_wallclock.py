@@ -32,6 +32,16 @@ sys.path.insert(
 GATE_BATCH = 4096  # 2^12
 DEFAULT_ALLOWED_FACTOR = 1.30
 
+#: Batch size for the batched-executor gate (the paper's headline 2^14).
+BATCHED_GATE_BATCH = 16_384
+
+#: Batched execute+writeback must beat columnar by at least this factor
+#: at the headline batch.  The committed baseline shows ~3x on execute
+#: and ~3x on writeback; 1.5x is a conservative floor that survives a
+#: noisy shared host without ever letting the batched path quietly decay
+#: to parity.
+BATCHED_FLOOR = 1.5
+
 #: Measured batches per check; the per-phase minimum over them is the
 #: estimator.  On a busy shared host three rounds is not enough for the
 #: min to converge (identical code has been observed spanning 290-410 ms
@@ -82,6 +92,41 @@ def check(
     return 0
 
 
+def check_batched(rounds: int = DEFAULT_ROUNDS, floor: float = BATCHED_FLOOR) -> int:
+    """Gate the batched executor: at the headline batch size, batched
+    execute+writeback must beat columnar by at least ``floor``.
+
+    Both paths are measured fresh on this host (a ratio of two local
+    measurements, unlike the columnar gate's comparison against the
+    committed baseline), so the gate is machine-independent.
+    """
+    from repro.bench import wallclock
+
+    columnar = wallclock.measure_path(
+        columnar=True, batch_size=BATCHED_GATE_BATCH, scale=1.0, rounds=rounds
+    )
+    batched = wallclock.measure_path(
+        columnar=True, batch_size=BATCHED_GATE_BATCH, scale=1.0, rounds=rounds,
+        batched=True,
+    )
+    col = columnar["execute"] + columnar["writeback"]
+    bat = batched["execute"] + batched["writeback"]
+    ratio = col / max(bat, 1e-12)
+    status = "OK" if ratio >= floor else "FAIL"
+    print(
+        f"batched execute+writeback @ batch {BATCHED_GATE_BATCH}: "
+        f"columnar {col * 1e3:.1f} ms, batched {bat * 1e3:.1f} ms, "
+        f"speedup {ratio:.2f}x (floor {floor:.2f}x) -> {status}"
+    )
+    if status == "FAIL":
+        print(
+            "batched executor no longer beats the columnar path by the "
+            f"required {floor:.2f}x on execute+writeback"
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -100,8 +145,20 @@ def main(argv: list[str] | None = None) -> int:
         "--rounds", type=int, default=DEFAULT_ROUNDS,
         help="measured batches (min is taken)",
     )
+    parser.add_argument(
+        "--batched-floor", type=float, default=BATCHED_FLOOR,
+        help="batched must beat columnar on execute+writeback by this "
+        f"factor at batch {BATCHED_GATE_BATCH} (default {BATCHED_FLOOR})",
+    )
+    parser.add_argument(
+        "--skip-batched", action="store_true",
+        help="only run the columnar regression gate",
+    )
     args = parser.parse_args(argv)
-    return check(args.baseline, args.allowed_factor, args.rounds)
+    rc = check(args.baseline, args.allowed_factor, args.rounds)
+    if rc == 0 and not args.skip_batched:
+        rc = check_batched(args.rounds, args.batched_floor)
+    return rc
 
 
 if __name__ == "__main__":

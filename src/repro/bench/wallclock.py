@@ -1,14 +1,17 @@
-"""Host wall-clock of the engine's phases: columnar vs reference op path.
+"""Host wall-clock of the engine's phases: batched vs columnar vs reference.
 
 Every other harness in this package reports the *simulated* GPU clock,
-which is deliberately identical between the columnar op path and the
-retained reference implementation (``LTPGConfig.columnar_ops``; the
-differential tests in ``tests/test_columnar_equivalence.py`` pin that
-down).  This harness measures the one thing that *does* differ: how long
-the host takes to run each phase.  It sweeps batch sizes 2^10..2^16 on
-TPC-C 50/50 and reports per-batch seconds for both paths, plus the
-execute+conflict speedup — the headline number recorded in
-``BENCH_wallclock.json`` (see docs/ARCHITECTURE.md for how to read it).
+which is deliberately identical across the three execute-phase
+implementations (``LTPGConfig.columnar_ops`` / ``batched_exec``; the
+differential tests in ``tests/test_columnar_equivalence.py`` and
+``tests/test_batched_equivalence.py`` pin that down).  This harness
+measures the one thing that *does* differ: how long the host takes to
+run each phase.  It sweeps batch sizes 2^10..2^16 on TPC-C 50/50 and
+reports per-batch seconds for all three paths, plus two speedup series
+recorded in ``BENCH_wallclock.json`` (see docs/ARCHITECTURE.md for how
+to read it): reference/columnar on execute+conflict (the PR 1 headline)
+and columnar/batched on execute and total (the batched-executor
+headline).
 
 Methodology: per (batch size, path) a fresh benchmark database is built
 from the same seed, one warm-up batch is run, then ``rounds`` measured
@@ -63,28 +66,43 @@ class WallclockResult:
             self.exec_conflict("columnar", batch), 1e-12
         )
 
+    def batched_speedup(self, batch: int, phase: str = "execute") -> float:
+        """Columnar / batched on one phase (or ``total``)."""
+        return self.seconds["columnar"][batch][phase] / max(
+            self.seconds["batched"][batch][phase], 1e-12
+        )
+
     def format(self) -> str:
+        have_batched = "batched" in self.seconds
         headers = [
             "batch size",
             "columnar exec+conf (s)",
             "reference exec+conf (s)",
             "speedup",
         ]
-        rows = [
-            [
+        if have_batched:
+            headers += ["batched exec (s)", "batched speedup (exec)"]
+        rows = []
+        for b in sorted(self.seconds.get("columnar", {})):
+            row = [
                 b,
                 self.exec_conflict("columnar", b),
                 self.exec_conflict("reference", b),
                 f"{self.speedup(b):.2f}x",
             ]
-            for b in sorted(self.seconds.get("columnar", {}))
-        ]
+            if have_batched:
+                row += [
+                    self.seconds["batched"][b]["execute"],
+                    f"{self.batched_speedup(b):.2f}x",
+                ]
+            rows.append(row)
         table = format_table(
-            "Host wall-clock per batch: columnar vs reference op path "
-            "(TPC-C 50/50)",
+            "Host wall-clock per batch: batched vs columnar vs reference "
+            "op path (TPC-C 50/50)",
             headers,
             rows,
             note="speedup = reference / columnar on execute+conflict; "
+            "batched speedup = columnar / batched on execute; "
             "simulated-time results are identical by construction.",
         )
         if self.metrics:
@@ -106,6 +124,14 @@ class WallclockResult:
                 for b in sorted(self.seconds.get("columnar", {}))
                 if b in self.seconds.get("reference", {})
             },
+            "speedup_execute_total": {
+                str(b): {
+                    "execute": round(self.batched_speedup(b, "execute"), 3),
+                    "total": round(self.batched_speedup(b, "total"), 3),
+                }
+                for b in sorted(self.seconds.get("columnar", {}))
+                if b in self.seconds.get("batched", {})
+            },
             "metrics": self.metrics,
         }
 
@@ -123,10 +149,11 @@ def measure_path(
     warehouses: int = 32,
     neworder_pct: int = 50,
     seed: int = 7,
+    batched: bool = False,
 ) -> dict[str, float]:
     """Min-of-rounds per-phase host seconds for one op path.
 
-    Builds a fresh database (both paths see byte-identical transaction
+    Builds a fresh database (all paths see byte-identical transaction
     streams for a given seed) and discards one warm-up batch.
     """
     bench = tpcc_bench(
@@ -134,7 +161,9 @@ def measure_path(
         scale=scale, seed=seed,
     )
     config = dataclasses.replace(
-        ltpg_config(bench.batch_size), columnar_ops=columnar
+        ltpg_config(bench.batch_size),
+        columnar_ops=columnar or batched,
+        batched_exec=batched,
     )
     engine = bench.engine(config)
     engine.run_batch(bench.generator.make_batch(bench.batch_size))  # warm-up
@@ -199,12 +228,18 @@ def run(
         "numpy": np.__version__,
         "platform": platform.platform(),
     }
-    for path, columnar in (("columnar", True), ("reference", False)):
+    paths = (
+        ("batched", True, True),
+        ("columnar", True, False),
+        ("reference", False, False),
+    )
+    for path, columnar, batched in paths:
         by_batch: dict[int, dict[str, float]] = {}
         for batch in batch_sizes:
             by_batch[batch] = measure_path(
                 columnar, batch, scale=scale, rounds=rounds,
                 warehouses=warehouses, neworder_pct=neworder_pct, seed=seed,
+                batched=batched,
             )
         result.seconds[path] = by_batch
     result.metrics = measure_metrics(

@@ -67,6 +67,16 @@ class LTPGConfig:
     #: path exists for differential testing and the wallclock bench.
     columnar_ops: bool = True
 
+    #: Batched procedure execution (the host analog of §IV-C's warp
+    #: division): group the batch by procedure name and run each group
+    #: through its vectorized ``BatchProcedure`` twin over parameter
+    #: columns, with automatic per-transaction fallback for procedures
+    #: lacking one.  Carries a columnar local-set representation through
+    #: write-back (grouped scatters instead of per-transaction
+    #: ``apply_local_sets``).  Byte-identical outcomes to both op paths;
+    #: requires ``columnar_ops``.
+    batched_exec: bool = False
+
     #: Columns managed by delayed updates: {(table, column), ...}.  These
     #: must be accessed only through ADD operations within a batch.
     delayed_columns: frozenset[tuple[str, str]] = frozenset()
@@ -96,6 +106,11 @@ class LTPGConfig:
             raise TransactionError("batch size must be positive")
         if self.retry_delay_batches < 1:
             raise TransactionError("retry delay must be >= 1 batch")
+        if self.batched_exec and not self.columnar_ops:
+            raise TransactionError(
+                "batched_exec requires columnar_ops (the batched executor "
+                "feeds the columnar collection pipeline)"
+            )
 
     @property
     def effective_retry_delay(self) -> int:

@@ -27,6 +27,7 @@ from repro.errors import TransactionError
 from repro.gpusim.atomics import collision_profile
 from repro.gpusim.kernel import KernelContext
 from repro.storage.database import Database
+from repro.txn.batch_context import pack_sort_key
 
 #: "No TID registered" sentinel; larger than any real TID.
 NO_TID = np.iinfo(np.int64).max
@@ -134,8 +135,22 @@ class ConflictLog:
             return
         if keys.size != tids.size or keys.size != table_ids.size:
             raise TransactionError("registration arrays must align")
-        np.minimum.at(minima, keys, tids)
-        self._touched.append(np.unique(keys))
+        packed = pack_sort_key(keys, tids)
+        if packed is None:
+            np.minimum.at(minima, keys, tids)
+            self._touched.append(np.unique(keys))
+        else:
+            # one sort replaces both the element-wise atomicMin twin and
+            # the np.unique for the touched list: the first entry of
+            # each (key, tid)-sorted key run carries the min TID
+            order = np.argsort(packed)
+            ks = keys[order]
+            first = np.empty(ks.size, dtype=bool)
+            first[0] = True
+            np.not_equal(ks[1:], ks[:-1], out=first[1:])
+            touched = ks[first]
+            minima[touched] = np.minimum(minima[touched], tids[order][first])
+            self._touched.append(touched)
         if ctx is not None:
             ctx.add_trace_arg(f"{buffer}.registrations", int(keys.size))
             if ctx.sanitizer is not None:

@@ -102,3 +102,42 @@ class DelayedUpdater:
             ctx.add_shared_accesses(n)  # broadcast staging
             ctx.add_global_writes(distinct_rows)
         return distinct_rows
+
+    def apply_arrays(
+        self,
+        table_ids: np.ndarray,
+        rows: np.ndarray,
+        col_ids: np.ndarray,
+        deltas: np.ndarray,
+        ctx: KernelContext | None = None,
+    ) -> int:
+        """Columnar twin of :meth:`apply`: merge flat per-cell delta
+        arrays (interned column ids) with identical cost accounting.
+        Addition commutes, so the grouped-scatter merge order cannot
+        change the snapshot :meth:`apply` would produce."""
+        n = int(table_ids.size)
+        if n == 0:
+            return 0
+        from repro.txn.operations import column_name
+
+        order = np.lexsort((col_ids, table_ids))
+        t_s, r_s, c_s, v_s = (
+            table_ids[order], rows[order], col_ids[order], deltas[order]
+        )
+        new = np.empty(n, dtype=bool)
+        new[0] = True
+        new[1:] = (t_s[1:] != t_s[:-1]) | (c_s[1:] != c_s[:-1])
+        starts = np.flatnonzero(new)
+        ends = np.append(starts[1:], n)
+        distinct_rows = 0
+        for s, e in zip(starts, ends):
+            target = self._db.table_by_id(int(t_s[s])).column(
+                column_name(int(c_s[s]))
+            )
+            np.add.at(target, r_s[s:e], v_s[s:e])
+            distinct_rows += int(np.unique(r_s[s:e]).size)
+        if ctx is not None:
+            ctx.add_instructions(n * _MERGE_INSTRUCTIONS_PER_DELTA)
+            ctx.add_shared_accesses(n)
+            ctx.add_global_writes(distinct_rows)
+        return distinct_rows

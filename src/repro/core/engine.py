@@ -44,9 +44,10 @@ from repro.gpusim.occupancy import KernelResources, occupancy
 from repro.storage.database import Database
 from repro.storage.wal import BatchLog
 from repro.txn.batch import BatchScheduler
+from repro.txn.batch_context import BatchedContext, GroupLocals, pack_sort_key
 from repro.txn.context import BufferedContext, LocalSets, apply_local_sets
 from repro.txn.decompose import plan, plan_arrays
-from repro.txn.operations import NUM_OP_KINDS, OP_FIELDS, OpKind, column_name
+from repro.txn.operations import NUM_OP_KINDS, OP_FIELDS, OpColumns, OpKind, column_name
 from repro.txn.procedures import Procedure, ProcedureRegistry
 from repro.txn.transaction import Transaction, TxnStatus
 
@@ -174,6 +175,9 @@ class LTPGEngine:
         self.compute_stream = "stream0"
         self.d2h_stream = "stream0"
         self._batch_counter = 0
+        # (procedure, lanes, ops) per execute group of the last batch,
+        # recorded only when tracing/metrics are on (observability).
+        self._last_groups: list[tuple[str, int, int]] = []
 
     # ------------------------------------------------------------------
     def run_batch(self, transactions: list[Transaction]) -> BatchResult:
@@ -206,7 +210,8 @@ class LTPGEngine:
             "execute", threads=max(1, len(transactions)), stream=self.compute_stream
         ) as ctx:
             self._execute_phase(transactions, exec_data, ctx)
-        exec_ns = device.profiler.entries[-1].duration_ns
+        exec_entry = device.profiler.entries[-1]
+        exec_ns = exec_entry.duration_ns
         exec_kernel_stats = ctx.stats
         exec_geometry = ctx.geometry
         self._phase_sync()
@@ -291,7 +296,10 @@ class LTPGEngine:
         result.stats.occupancy = occupancy(
             KernelResources(threads_per_block=exec_geometry.block)
         ).occupancy
-        self._record_observability(result.stats, start_ns, end_ns)
+        self._record_observability(
+            result.stats, start_ns, end_ns,
+            exec_span=(exec_entry.start_ns, exec_entry.duration_ns),
+        )
         self.conflict_log.end_batch()
         self.batch_log.record_outcome(
             batch_index,
@@ -327,12 +335,17 @@ class LTPGEngine:
             self.tracer.end(self.compute_stream, clock)
 
     def _record_observability(
-        self, stats: BatchStats, start_ns: float, end_ns: float
+        self,
+        stats: BatchStats,
+        start_ns: float,
+        end_ns: float,
+        exec_span: tuple[float, float] | None = None,
     ) -> None:
         """Populate the trace envelope, counter series and metrics
         registry for one finished batch (no-op when tracing is off)."""
         if self.tracer is None and self.metrics is None:
             return
+        self._record_group_observability(exec_span)
         log_metrics = self.conflict_log.batch_metrics()
         stats.bucket_load_factor = float(log_metrics["load_factor"])
         stats.bucket_expanded_slots = int(log_metrics["expanded_slots"])
@@ -388,6 +401,47 @@ class LTPGEngine:
             depths = m.histogram("engine.reschedule_depth")
             for attempts, count in stats.commit_attempts.items():
                 depths.observe(attempts - 1, count)
+
+    #: Track carrying per-procedure-group execute spans (Perfetto shows
+    #: which procedure group dominates a batch's execute kernel).
+    GROUP_TRACK = "execute.groups"
+
+    def _record_group_observability(
+        self, exec_span: tuple[float, float] | None
+    ) -> None:
+        """Per-procedure-group spans and counters for the execute phase.
+
+        The simulated execute kernel is one timeline entry; its window
+        is subdivided proportionally by each group's op count (the same
+        work measure the cost model charges), which keeps the spans
+        deterministic — pure integer-derived float math over simulated
+        clocks, no host time.
+        """
+        groups = self._last_groups
+        if not groups:
+            return
+        if self.tracer is not None and exec_span is not None:
+            g_start, g_dur = exec_span
+            total_ops = sum(ops for _, _, ops in groups) or 1
+            cursor = g_start
+            for gi, (name, lanes, ops) in enumerate(groups):
+                end = (
+                    max(cursor, g_start + g_dur)
+                    if gi == len(groups) - 1
+                    else cursor + g_dur * ops / total_ops
+                )
+                self.tracer.complete(
+                    f"execute:{name}", self.GROUP_TRACK, cursor,
+                    end - cursor, cat="group",
+                    args={"lanes": lanes, "ops": ops},
+                )
+                cursor = end
+        if self.metrics is not None:
+            ops_hist = self.metrics.histogram("execute.procedure_ops")
+            size_hist = self.metrics.histogram("execute.group_size")
+            for name, lanes, ops in groups:
+                ops_hist.observe(name, ops)
+                size_hist.observe(name, lanes)
 
     # ------------------------------------------------------------------
     # Shadow-access recording (``config.sanitize``).  Addresses are
@@ -473,53 +527,86 @@ class LTPGEngine:
             self._proc_cache_version = version
         return self._proc_cache
 
+    def _resolve_procedure(self, name: str) -> Procedure:
+        """Cached procedure lookup that can never poison the cache: an
+        unknown name raises a clear engine error naming the procedure
+        (and what *is* registered) without caching anything."""
+        cache = self._procedure_cache()
+        proc = cache.get(name)
+        if proc is None:
+            try:
+                proc = self.procedures.get(name)
+            except TransactionError:
+                known = ", ".join(self.procedures.names()) or "(none)"
+                raise TransactionError(
+                    f"batch references unknown procedure {name!r}; "
+                    f"registered procedures: {known}"
+                ) from None
+            cache[name] = proc
+        return proc
+
+    def _execute_one(self, txn, proc, data: "_ExecutionData") -> None:
+        """Run one transaction through its scalar procedure (the
+        per-transaction path; also the batched executor's fallback)."""
+        local_ctx = BufferedContext(self.database)
+        try:
+            proc(local_ctx, *txn.params)
+        except (TransactionAborted, KeyNotFound):
+            # Procedure rolled back, or a client-pre-resolved key
+            # missed (e.g. Delivery naming an order whose NewOrder
+            # aborted): a deterministic logic abort either way.
+            txn.status = TxnStatus.LOGIC_ABORTED
+            txn.abort_reason = "logic"
+            txn.ops = local_ctx.ops
+            data.locals_by_tid[txn.tid] = LocalSets()
+            return
+        txn.status = TxnStatus.EXECUTED
+        txn.ops = local_ctx.ops
+        local = local_ctx.local
+        # Deltas on delayed columns leave the local set: they are
+        # merged by the delayed updater at write-back, not by
+        # apply_local_sets.
+        delayed_set = self.delayed.columns  # frozenset[(table_id, column)]
+        delayed_locs = [
+            loc
+            for loc in local.adds
+            if (loc[0], loc[2]) in delayed_set
+        ] if delayed_set and local.adds else []
+        if delayed_locs:
+            data.delayed_adds_by_txn[txn.tid] = [
+                (t, row, col, local.adds.pop((t, row, col)))
+                for t, row, col in delayed_locs
+            ]
+        data.locals_by_tid[txn.tid] = local
+        if local_ctx.ranges:
+            data.ranges_by_tid[txn.tid] = local_ctx.ranges
+
     def _execute_phase(self, transactions, data: "_ExecutionData", ctx) -> None:
         """Run procedures, buffer effects, register TIDs."""
-        db = self.database
-        delayed = self.delayed
-        delayed_set = delayed.columns  # frozenset[(table_id, column)]
-        proc_cache = self._procedure_cache()
+        if self.config.batched_exec:
+            self._execute_batched(transactions, data)
+        else:
+            cache = self._procedure_cache()
+            for txn in transactions:
+                txn.reset_for_execution()
+                proc = cache.get(txn.procedure_name)
+                if proc is None:
+                    proc = self._resolve_procedure(txn.procedure_name)
+                self._execute_one(txn, proc, data)
 
-        for txn in transactions:
-            txn.reset_for_execution()
-            proc = proc_cache.get(txn.procedure_name)
-            if proc is None:
-                proc = self.procedures.get(txn.procedure_name)
-                proc_cache[txn.procedure_name] = proc
-            local_ctx = BufferedContext(db)
-            try:
-                proc(local_ctx, *txn.params)
-            except (TransactionAborted, KeyNotFound):
-                # Procedure rolled back, or a client-pre-resolved key
-                # missed (e.g. Delivery naming an order whose NewOrder
-                # aborted): a deterministic logic abort either way.
-                txn.status = TxnStatus.LOGIC_ABORTED
-                txn.abort_reason = "logic"
-                txn.ops = local_ctx.ops
-                data.locals_by_tid[txn.tid] = LocalSets()
-                continue
-            txn.status = TxnStatus.EXECUTED
-            txn.ops = local_ctx.ops
-            local = local_ctx.local
-            # Deltas on delayed columns leave the local set: they are
-            # merged by the delayed updater at write-back, not by
-            # apply_local_sets.
-            delayed_locs = [
-                loc
-                for loc in local.adds
-                if (loc[0], loc[2]) in delayed_set
-            ] if delayed_set and local.adds else []
-            if delayed_locs:
-                data.delayed_adds_by_txn[txn.tid] = [
-                    (t, row, col, local.adds.pop((t, row, col)))
-                    for t, row, col in delayed_locs
-                ]
-            data.locals_by_tid[txn.tid] = local
-            if local_ctx.ranges:
-                data.ranges_by_tid[txn.tid] = local_ctx.ranges
+        if self.tracer is not None or self.metrics is not None:
+            tallies: dict[str, list[int]] = {}
+            for txn in transactions:
+                t = tallies.setdefault(txn.procedure_name, [0, 0])
+                t[0] += 1
+                t[1] += len(txn.ops)
+            self._last_groups = [
+                (name, t[0], t[1]) for name, t in tallies.items()
+            ]
 
         # Collect op arrays + per-op costs, skipping logic aborts for
         # registration but keeping their cost (the lanes did the work).
+        db = self.database
         if self.config.columnar_ops:
             table_txns, touched_rows = self._collect_columnar(transactions, data, ctx)
         else:
@@ -572,6 +659,92 @@ class LTPGEngine:
         self._sanitize_table_reads(data)
 
     # ------------------------------------------------------------------
+    def _execute_batched(self, transactions, data: "_ExecutionData") -> None:
+        """Group-by-procedure vectorized execution (``batched_exec``).
+
+        Each group with a registered ``BatchProcedure`` twin runs as one
+        vectorized call over a :class:`BatchedContext`; groups without a
+        twin — and individual lanes the twin sends to fallback — run
+        through the scalar path, so third-party procedures keep working.
+        Either way every transaction ends with the same ``txn.ops``,
+        status and ranges the scalar loop would have produced, and the
+        batch-wide columnar locals land in ``data.batch_locals`` for the
+        scatter-based write-back.
+        """
+        n = len(transactions)
+        groups: dict[str, list[int]] = {}
+        for i, txn in enumerate(transactions):
+            txn.reset_for_execution()
+            groups.setdefault(txn.procedure_name, []).append(i)
+        delayed_fn = (
+            self.delayed.delayed_mask if self.delayed.columns else None
+        )
+        parts: list[GroupLocals] = []
+        for name, idxs in groups.items():
+            proc = self._resolve_procedure(name)
+            batched = self.procedures.get_batched(name)
+            if batched is None:
+                part = GroupLocals(n)
+                for i in idxs:
+                    txn = transactions[i]
+                    self._execute_one(txn, proc, data)
+                    self._fold_scalar_locals(part, i, txn, data)
+                parts.append(part)
+                continue
+            bctx = BatchedContext(
+                self.database,
+                [transactions[i].params for i in idxs],
+                delayed_mask_fn=delayed_fn,
+            )
+            batched(bctx, bctx.params)
+            mat, counts, g_locals, ranges_by_lane = bctx.finalize()
+            # zero-copy byte window over the lane-sorted op matrix;
+            # per-lane slices stay views until frombytes copies them
+            if mat.size:
+                raw = memoryview(np.ascontiguousarray(mat)).cast("B")
+            else:
+                raw = b""
+            bounds = np.zeros(len(idxs) + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            bounds *= OP_FIELDS * 8
+            part = g_locals.rekeyed(np.asarray(idxs, dtype=np.int64), n)
+            bounds_l = bounds.tolist()
+            fallback_l = bctx.fallback.tolist()
+            aborted_l = bctx.aborted.tolist()
+            from_flat = OpColumns.from_flat
+            executed = TxnStatus.EXECUTED
+            get_ranges = ranges_by_lane.get
+            for li, i in enumerate(idxs):
+                txn = transactions[i]
+                if fallback_l[li]:
+                    self._execute_one(txn, proc, data)
+                    self._fold_scalar_locals(part, i, txn, data)
+                    continue
+                txn.ops = from_flat(raw[bounds_l[li]:bounds_l[li + 1]])
+                if aborted_l[li]:
+                    txn.status = TxnStatus.LOGIC_ABORTED
+                    txn.abort_reason = "logic"
+                else:
+                    txn.status = executed
+                    lane_ranges = get_ranges(li)
+                    if lane_ranges:
+                        data.ranges_by_tid[txn.tid] = lane_ranges
+            parts.append(part)
+        data.batch_locals = GroupLocals.merge(parts, n)
+
+    def _fold_scalar_locals(
+        self, part: GroupLocals, idx: int, txn, data: "_ExecutionData"
+    ) -> None:
+        """Fold one scalar-executed transaction's local sets into the
+        batch-wide columnar locals (fallback lanes, scalar-only
+        procedures, and logic aborts — whose locals are empty)."""
+        part.add_scalar_locals(
+            idx,
+            data.locals_by_tid[txn.tid],
+            data.delayed_adds_by_txn.get(txn.tid, ()),
+        )
+
+    # ------------------------------------------------------------------
     def _collect_columnar(self, transactions, data: "_ExecutionData", ctx):
         """Batch-wide columnar op collection.
 
@@ -582,16 +755,20 @@ class LTPGEngine:
         """
         db = self.database
         n = len(transactions)
-        counts = np.empty(n, dtype=np.int64)
-        tids = np.empty(n, dtype=np.int64)
-        registers = np.empty(n, dtype=bool)
+        counts_l: list[int] = []
+        tids_l: list[int] = []
+        registers_l: list[bool] = []
+        executed = TxnStatus.EXECUTED
         flat = array("q")
-        for i, txn in enumerate(transactions):
+        for txn in transactions:
             buf = txn.ops.buffer
             flat += buf  # one C-level memcpy per transaction
-            counts[i] = len(buf) // OP_FIELDS
-            tids[i] = txn.tid
-            registers[i] = txn.status is TxnStatus.EXECUTED
+            counts_l.append(len(buf))
+            tids_l.append(txn.tid)
+            registers_l.append(txn.status is executed)
+        counts = np.asarray(counts_l, dtype=np.int64) // OP_FIELDS
+        tids = np.asarray(tids_l, dtype=np.int64)
+        registers = np.asarray(registers_l, dtype=bool)
         total = len(flat) // OP_FIELDS
         if total:
             # Zero-copy view: `flat` is local and never grows past here.
@@ -643,13 +820,14 @@ class LTPGEngine:
         data.range_txn_arr = ra[:, 4]
 
         # Distinct (txn, table) pairs -> per-table accessing-txn counts.
+        # The pair space is tiny (n x num_tables), so a scatter into a
+        # boolean grid beats a sort-based np.unique.
         num_tables = db.num_tables
-        pairs = op_txn * num_tables + table
+        seen_pairs = np.zeros((n, num_tables), dtype=bool)
+        seen_pairs.reshape(-1)[op_txn * num_tables + table] = True
         if range_rows:
-            pairs = np.concatenate((pairs, ra[:, 4] * num_tables + ra[:, 0]))
-        per_table = np.bincount(
-            np.unique(pairs) % num_tables, minlength=num_tables
-        )
+            seen_pairs[ra[:, 4], ra[:, 0]] = True
+        per_table = seen_pairs.sum(axis=0)
         table_txns = {int(t): int(c) for t, c in enumerate(per_table) if c}
 
         # Rows with real slots, per table (unified-memory page faults).
@@ -694,19 +872,22 @@ class LTPGEngine:
         group = self.flags.group_lookup(table, col)
         read_sel = candidate & ((kind == OpKind.READ) | is_add)
         write_sel = candidate & ((kind == OpKind.WRITE) | is_add)
+        read_res, write_res = _dedup_reservations_two_sided(
+            op_txn, table, row, group, candidate, read_sel, write_sel
+        )
         (
             data.read_table_arr,
             data.read_row_arr,
             data.read_group_arr,
             data.read_txn_arr,
-        ) = _dedup_reservations(op_txn, table, row, group, read_sel)
+        ) = read_res
         data.read_tid_arr = tids[data.read_txn_arr]
         (
             data.write_table_arr,
             data.write_row_arr,
             data.write_group_arr,
             data.write_txn_arr,
-        ) = _dedup_reservations(op_txn, table, row, group, write_sel)
+        ) = write_res
         data.write_tid_arr = tids[data.write_txn_arr]
         return table_txns, touched_rows
 
@@ -908,6 +1089,8 @@ class LTPGEngine:
     def _writeback_phase(self, transactions, data, committed_mask, ctx) -> int:
         """Install committed effects; returns read/write-set bytes for
         the copy-back transfer."""
+        if data.batch_locals is not None:
+            return self._writeback_columnar(transactions, data, committed_mask, ctx)
         db = self.database
         rwset_bytes = 0
         cells = 0
@@ -941,17 +1124,189 @@ class LTPGEngine:
         ctx.add_instructions(_APPLY_INSTRUCTIONS * max(1, cells))
         self.delayed.apply(delayed_deltas, ctx)
         if written_rows:
+            # Sorted tables and pages, so the LRU tracker sees the same
+            # sequence whichever write-back path built the row sets.
             faults = 0
-            for table_id, rows in written_rows.items():
+            for table_id in sorted(written_rows):
+                rows = written_rows[table_id]
                 table = db.table_by_id(table_id)
                 row_bytes = table.schema.row_bytes
-                pages = {
-                    (row * row_bytes) // self.device.config.um_page_bytes
-                    for row in rows
-                }
+                rows_arr = np.fromiter(rows, dtype=np.int64, count=len(rows))
+                pages = np.unique(
+                    rows_arr * row_bytes // self.device.config.um_page_bytes
+                )
                 faults += self.device.memory.pages.touch(table.name, pages)
             ctx.add_page_faults(faults)
         return rwset_bytes
+
+    # ------------------------------------------------------------------
+    def _writeback_columnar(self, transactions, data, committed_mask, ctx) -> int:
+        """Columnar write-back for ``batched_exec``: masked grouped
+        scatters per (table, column) instead of per-transaction
+        ``apply_local_sets`` calls.  Safe because the WAW rule leaves at
+        most one committed writer per (row, conflict-group): committed
+        write cells are disjoint, committed adds commute, and each
+        transaction's own write-kills-add ordering was already resolved
+        when the batched context finalized its local sets."""
+        db = self.database
+        bl = data.batch_locals
+        commit = np.asarray(committed_mask, dtype=bool)
+        rwset_bytes = int(bl.nbytes_by_txn[commit].sum()) + 16 * int(
+            bl.delayed_count_by_txn[commit].sum()
+        )
+        if self.sanitizer is not None:
+            self._sanitize_writeback_columnar(bl, commit)
+        w_keep = commit[bl.w_txn] if bl.w_txn.size else np.zeros(0, dtype=bool)
+        a_keep = commit[bl.a_txn] if bl.a_txn.size else np.zeros(0, dtype=bool)
+        d_keep = commit[bl.d_txn] if bl.d_txn.size else np.zeros(0, dtype=bool)
+        cells = int(w_keep.sum()) + int(a_keep.sum())
+
+        def scatter(tables, rows, cols, vals, accumulate: bool) -> None:
+            if tables.size == 0:
+                return
+            order = np.lexsort((cols, tables))
+            tables, rows, cols, vals = (
+                tables[order], rows[order], cols[order], vals[order]
+            )
+            new = np.empty(tables.size, dtype=bool)
+            new[0] = True
+            new[1:] = (tables[1:] != tables[:-1]) | (cols[1:] != cols[:-1])
+            starts = np.flatnonzero(new)
+            ends = np.append(starts[1:], tables.size)
+            for s, e in zip(starts, ends):
+                target = db.table_by_id(int(tables[s])).column(
+                    column_name(int(cols[s]))
+                )
+                if accumulate:
+                    np.add.at(target, rows[s:e], vals[s:e])
+                else:
+                    target[rows[s:e]] = vals[s:e]
+
+        scatter(
+            bl.w_table[w_keep], bl.w_row[w_keep], bl.w_col[w_keep],
+            bl.w_val[w_keep], accumulate=False,
+        )
+        scatter(
+            bl.a_table[a_keep], bl.a_row[a_keep], bl.a_col[a_keep],
+            bl.a_val[a_keep], accumulate=True,
+        )
+        # Inserts claim slots per table in (transaction, emission) order
+        # — the scalar slot assignment — but install in bulk: keys that
+        # already exist (or repeat within the committed batch; the
+        # conflict phase guarantees a unique winner, this mirrors the
+        # scalar get_row guard) drop out, the survivors take consecutive
+        # slots, and the payload columns scatter per emission chunk.
+        if bl.i_txn.size:
+            order = np.lexsort((bl.i_seq, bl.i_txn))
+            order = order[commit[bl.i_txn[order]]]
+        else:
+            order = np.empty(0, dtype=np.int64)
+        if order.size:
+            meta = bl.i_meta
+            nlen = np.fromiter(
+                (len(m[0]) for m in meta), dtype=np.int64, count=len(meta)
+            )
+            i_tb = bl.i_table[order]
+            i_keys = bl.i_key[order]
+            i_chs = bl.i_chunk[order]
+            i_pos = bl.i_pos[order]
+            cells += order.size + int(nlen[i_chs].sum())
+            for table_id in np.unique(i_tb):
+                m = i_tb == table_id
+                table = db.table_by_id(int(table_id))
+                kt, ct, pt = i_keys[m], i_chs[m], i_pos[m]
+                exists = (kt >= 0) & (kt < table._dense_limit)
+                nd = np.flatnonzero(~exists)
+                if nd.size:
+                    has = table.primary.__contains__
+                    hits = np.fromiter(
+                        map(has, kt[nd].tolist()), dtype=bool, count=nd.size
+                    )
+                    exists[nd[hits]] = True
+                keep = ~exists
+                if kt.size > 1:
+                    first = np.zeros(kt.size, dtype=bool)
+                    first[np.unique(kt, return_index=True)[1]] = True
+                    keep &= first
+                if not keep.any():
+                    continue
+                ck, pk = ct[keep], pt[keep]
+                rows = table.append_keys(kt[keep])
+                for c in np.unique(ck):
+                    cm = ck == c
+                    names, vals = meta[int(c)]
+                    block = vals[pk[cm]]
+                    trows = rows[cm]
+                    for j, name in enumerate(names):
+                        table.column(name)[trows] = block[:, j]
+                table.index_appended(rows)
+        ctx.add_global_writes(cells)
+        ctx.add_instructions(_APPLY_INSTRUCTIONS * max(1, cells))
+        self.delayed.apply_arrays(
+            bl.d_table[d_keep], bl.d_row[d_keep], bl.d_col[d_keep],
+            bl.d_val[d_keep], ctx,
+        )
+        if self.memory_plan.mode is MemoryMode.UNIFIED and (
+            w_keep.any() or a_keep.any()
+        ):
+            faults = 0
+            t_all = np.concatenate((bl.w_table[w_keep], bl.a_table[a_keep]))
+            r_all = np.concatenate((bl.w_row[w_keep], bl.a_row[a_keep]))
+            for table_id in np.unique(t_all):
+                table = db.table_by_id(int(table_id))
+                row_bytes = table.schema.row_bytes
+                pages = np.unique(
+                    r_all[t_all == table_id] * row_bytes
+                    // self.device.config.um_page_bytes
+                )
+                faults += self.device.memory.pages.touch(table.name, pages)
+            ctx.add_page_faults(faults)
+        return rwset_bytes
+
+    def _sanitize_writeback_columnar(self, bl, commit) -> None:
+        """Columnar twin of :meth:`_sanitize_writeback`: same shadow
+        cells (conflict-granular addresses), same access kinds."""
+        san = self.sanitizer
+        if san is None:
+            return
+        from repro.analysis.sanitizer import AccessKind
+
+        def emit(tables, rows, cols, txns, atomic: bool) -> None:
+            if tables.size == 0:
+                return
+            groups = self.flags.group_lookup(tables, cols)
+            for table_id in np.unique(tables):
+                m = tables == table_id
+                table = self.database.table_by_id(int(table_id))
+                num_groups = max(1, self.flags.num_groups(int(table_id)))
+                san.record(
+                    f"table:{table.name}",
+                    rows[m] * num_groups + groups[m],
+                    txns[m],
+                    AccessKind.WRITE,
+                    atomic=atomic,
+                )
+
+        w_keep = commit[bl.w_txn] if bl.w_txn.size else np.zeros(0, dtype=bool)
+        a_keep = commit[bl.a_txn] if bl.a_txn.size else np.zeros(0, dtype=bool)
+        d_keep = commit[bl.d_txn] if bl.d_txn.size else np.zeros(0, dtype=bool)
+        emit(
+            np.concatenate((bl.w_table[w_keep], bl.a_table[a_keep])),
+            np.concatenate((bl.w_row[w_keep], bl.a_row[a_keep])),
+            np.concatenate((bl.w_col[w_keep], bl.a_col[a_keep])),
+            np.concatenate((bl.w_txn[w_keep], bl.a_txn[a_keep])),
+            atomic=False,
+        )
+        emit(
+            bl.d_table[d_keep], bl.d_row[d_keep], bl.d_col[d_keep],
+            bl.d_txn[d_keep], atomic=True,
+        )
+        for txn_idx, table_id, key, _names, _vals in bl.iter_inserts(commit):
+            table = self.database.table_by_id(table_id)
+            san.record(
+                f"table:{table.name}:inserts", key, txn_idx,
+                AccessKind.WRITE,
+            )
 
     # ------------------------------------------------------------------
     def _assemble_result(
@@ -1058,6 +1413,53 @@ class LTPGEngine:
         return self.process(scheduler, max_batches=max_batches)
 
 
+def _dedup_reservations_two_sided(
+    op_txn, table, row, group, candidate, read_sel, write_sel
+):
+    """Both sides' reservation dedups from ONE sort of the candidate
+    ops.  Read and write selections are subsets of ``candidate`` (adds
+    appear in both), so sorting the candidates once and taking each
+    (txn, table, row, group) run's first read-side and first write-side
+    entry matches two independent :func:`_dedup_reservations` passes."""
+    t = op_txn[candidate]
+    if t.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return (
+            (empty, empty.copy(), empty.copy(), empty.copy()),
+            (empty.copy(), empty.copy(), empty.copy(), empty.copy()),
+        )
+    tb = table[candidate]
+    r = row[candidate]
+    g = group[candidate]
+    packed = pack_sort_key(t, tb, r, g)
+    if packed is None:
+        return (
+            _dedup_reservations(op_txn, table, row, group, read_sel),
+            _dedup_reservations(op_txn, table, row, group, write_sel),
+        )
+    order = np.argsort(packed, kind="stable")
+    ps = packed[order]
+    new = np.empty(ps.size, dtype=bool)
+    new[0] = True
+    new[1:] = ps[1:] != ps[:-1]
+    run = np.cumsum(new) - 1
+    t, tb, r, g = t[order], tb[order], r[order], g[order]
+    out = []
+    for side in (read_sel, write_sel):
+        si = np.flatnonzero(side[candidate][order])
+        if si.size:
+            runs = run[si]
+            keep = np.empty(si.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = runs[1:] != runs[:-1]
+            sel = si[keep]
+            out.append((tb[sel], r[sel], g[sel], t[sel]))
+        else:
+            empty = np.empty(0, dtype=np.int64)
+            out.append((empty, empty.copy(), empty.copy(), empty.copy()))
+    return out[0], out[1]
+
+
 def _dedup_reservations(op_txn, table, row, group, mask):
     """One reservation per (txn, table, row, group) among masked ops.
 
@@ -1075,16 +1477,25 @@ def _dedup_reservations(op_txn, table, row, group, mask):
     tb = table[mask]
     r = row[mask]
     g = group[mask]
-    order = np.lexsort((g, r, tb, t))
-    t, tb, r, g = t[order], tb[order], r[order], g[order]
-    keep = np.empty(t.size, dtype=bool)
-    keep[0] = True
-    keep[1:] = (
-        (t[1:] != t[:-1])
-        | (tb[1:] != tb[:-1])
-        | (r[1:] != r[:-1])
-        | (g[1:] != g[:-1])
-    )
+    packed = pack_sort_key(t, tb, r, g)
+    if packed is not None:
+        order = np.argsort(packed, kind="stable")
+        ps = packed[order]
+        keep = np.empty(ps.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = ps[1:] != ps[:-1]
+        t, tb, r, g = t[order], tb[order], r[order], g[order]
+    else:
+        order = np.lexsort((g, r, tb, t))
+        t, tb, r, g = t[order], tb[order], r[order], g[order]
+        keep = np.empty(t.size, dtype=bool)
+        keep[0] = True
+        keep[1:] = (
+            (t[1:] != t[:-1])
+            | (tb[1:] != tb[:-1])
+            | (r[1:] != r[:-1])
+            | (g[1:] != g[:-1])
+        )
     return tb[keep], r[keep], g[keep], t[keep]
 
 
@@ -1134,6 +1545,9 @@ class _ExecutionData:
         self.locals_by_tid: dict[int, LocalSets] = {}
         self.delayed_adds_by_txn: dict[int, list[tuple[int, int, str, int]]] = {}
         self.ranges_by_tid: dict[int, list[tuple[int, int, int]]] = {}
+        #: Batch-wide columnar locals (set by the batched executor; its
+        #: presence routes write-back through the scatter path).
+        self.batch_locals: GroupLocals | None = None
         self.read_keys = np.empty(0, dtype=np.int64)
         self.write_keys = np.empty(0, dtype=np.int64)
         # The *_arr views start empty so the columnar collector can set

@@ -29,6 +29,12 @@ class PrimaryIndex:
             raise DuplicateKey(f"primary key {key} already present")
         self._map[key] = row
 
+    def bulk_insert(self, keys, rows) -> None:
+        """Register many (key, row) pairs at once; the caller guarantees
+        the keys are new and distinct (the batched write-back dedups
+        before claiming slots)."""
+        self._map.update(zip(keys, rows))
+
     def lookup(self, key: int) -> int:
         try:
             return self._map[key]

@@ -168,6 +168,42 @@ class Table:
             self.ordered.insert(int(key), row)
         return row
 
+    def append_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Phase one of a vectorized append: claim consecutive slots for
+        ``keys`` (new and distinct — the caller dedups against the table
+        and within the batch) and register them in the primary index.
+
+        Returns the assigned row slots.  The caller scatters the new
+        rows' column payloads, then calls :meth:`index_appended` so the
+        secondary/ordered indexes see the final values — the same
+        sequence a per-row :meth:`insert` loop produces.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        k = keys.size
+        if k == 0:
+            return keys
+        start = self._num_rows
+        if start + k > self._capacity:
+            self._grow(start + k)
+        rows = np.arange(start, start + k, dtype=np.int64)
+        self._keys[start:start + k] = keys
+        self._num_rows = start + k
+        self.primary.bulk_insert(keys.tolist(), rows.tolist())
+        return rows
+
+    def index_appended(self, rows: np.ndarray) -> None:
+        """Phase two of a vectorized append: secondary and ordered index
+        maintenance for ``rows``, in slot order."""
+        row_list = rows.tolist()
+        for column, index in self.secondary.items():
+            ins = index.insert
+            for v, row in zip(self._columns[column][rows].tolist(), row_list):
+                ins(v, row)
+        if self.ordered is not None:
+            ins = self.ordered.insert
+            for key, row in zip(self._keys[rows].tolist(), row_list):
+                ins(key, row)
+
     def write(self, row: int, column: str, value: int) -> None:
         self._check_row(row)
         self.column(column)[row] = value

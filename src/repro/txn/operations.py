@@ -120,6 +120,14 @@ class OpColumns:
     def __init__(self) -> None:
         self._buf = array("q")
 
+    @classmethod
+    def from_flat(cls, raw: bytes) -> "OpColumns":
+        """Wrap a row-major int64 byte string of 6-field op rows (the
+        batched executor's per-transaction slice) — one memcpy."""
+        ops = cls()
+        ops._buf.frombytes(raw)
+        return ops
+
     # -- recording --------------------------------------------------------
     def append_op(
         self,

@@ -17,12 +17,20 @@ from repro.errors import TransactionError
 
 Procedure = Callable[..., None]
 
+#: A vectorized twin of a stored procedure: ``fn(batch_ctx, params)``
+#: runs *all* transactions of one group at once over a
+#: :class:`~repro.txn.batch_context.BatchedContext` and parameter
+#: columns.  Registered separately so every procedure keeps working
+#: scalar-only (the engine falls back per transaction).
+BatchProcedure = Callable[..., None]
+
 
 class ProcedureRegistry:
     """Named stored procedures for one workload."""
 
     def __init__(self) -> None:
         self._procs: dict[str, Procedure] = {}
+        self._batched: dict[str, BatchProcedure] = {}
         self._version = 0
 
     def register(self, name: str, procedure: Procedure | None = None):
@@ -53,11 +61,44 @@ class ProcedureRegistry:
         invalidate only when the registry actually changes."""
         return self._version
 
+    def register_batched(self, name: str, procedure: BatchProcedure | None = None):
+        """Register the vectorized twin of an already-registered scalar
+        procedure (decorator-friendly, like :meth:`register`).
+
+        The scalar procedure must exist first: the batched executor
+        falls back to it per transaction for lanes the vectorized
+        implementation cannot handle (and for differential testing).
+        """
+        def store(fn: BatchProcedure) -> BatchProcedure:
+            if name not in self._procs:
+                raise TransactionError(
+                    f"cannot register batched twin for unknown procedure "
+                    f"{name!r}; register the scalar procedure first"
+                )
+            if name in self._batched:
+                raise TransactionError(
+                    f"batched procedure {name!r} already registered"
+                )
+            self._batched[name] = fn
+            self._version += 1
+            return fn
+
+        if procedure is not None:
+            return store(procedure)
+        return store
+
     def get(self, name: str) -> Procedure:
         try:
             return self._procs[name]
         except KeyError:
             raise TransactionError(f"unknown procedure {name!r}") from None
+
+    def get_batched(self, name: str) -> BatchProcedure | None:
+        """The vectorized twin, or ``None`` (caller falls back)."""
+        return self._batched.get(name)
+
+    def has_batched(self, name: str) -> bool:
+        return name in self._batched
 
     def __contains__(self, name: str) -> bool:
         return name in self._procs

@@ -158,3 +158,9 @@ def register_procedures(registry: ProcedureRegistry, scale: TpccScale) -> None:
             balance = ctx.read("customer", c_key, "c_balance")
             ctx.write("customer", c_key, "c_balance", balance + total)
             ctx.add("customer", c_key, "c_delivery_cnt", 1)
+
+    # vectorized twins for the batched executor (late import: the
+    # batched module depends on the context/registry layers above)
+    from repro.workloads.tpcc.batched import register_batched_procedures
+
+    register_batched_procedures(registry, scale)

@@ -1,0 +1,271 @@
+"""Differential tests for the batched executor (``LTPGConfig.batched_exec``).
+
+Three implementations of the execute phase coexist: the retained
+per-transaction reference loop, the columnar op-collection path, and the
+batched executor (one vectorized ``BatchProcedure`` invocation per
+procedure group).  They must be observationally identical — statuses,
+abort reasons, per-transaction op streams (``txn.ops.raw``), simulated
+phase times, and the final database digest — because the wall-clock
+numbers in ``BENCH_wallclock.json`` claim the batched path changes host
+time and nothing else.
+
+Each test runs identical batch specs through all three paths and
+compares the full observable surface byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from helpers import build_bank
+from repro.core import LTPGConfig, LTPGEngine
+from repro.errors import TransactionError
+from repro.txn import Transaction
+from repro.workloads.smallbank import build_smallbank
+from repro.workloads.tpcc import DELAYED_COLUMNS, SPLIT_COLUMNS, TpccMix, build_tpcc
+from repro.workloads.ycsb import build_ycsb
+from repro.workloads.ycsb.generator import ycsb_delayed_columns
+
+pytestmark = pytest.mark.batched
+
+#: All five TPC-C procedures, so delivery/orderstatus/stocklevel twins
+#: (secondary-index walks, range-ish reads, fallback lanes) all run.
+FULL_MIX = TpccMix(
+    neworder=0.4, payment=0.3, orderstatus=0.1, stocklevel=0.1, delivery=0.1
+)
+
+
+def _observe(engine, batches):
+    """Run ``batches`` (lists of (name, params) specs) and capture every
+    path-sensitive observable."""
+    out = []
+    for specs in batches:
+        batch = [Transaction(n, p, tid=i) for i, (n, p) in enumerate(specs)]
+        result = engine.run_batch(batch)
+        out.append(
+            {
+                "committed": result.stats.committed,
+                "aborted": result.stats.aborted,
+                "logic_aborted": result.stats.logic_aborted,
+                "statuses": [t.status for t in batch],
+                "reasons": [t.abort_reason for t in batch],
+                "ops": [t.ops.raw for t in batch],
+                "phase_ns": dict(result.stats.phase_ns),
+                "rwset_ns": result.stats.rwset_ns,
+                "abort_reasons": dict(result.stats.abort_reasons),
+                "by_proc": dict(result.stats.committed_by_proc),
+            }
+        )
+    out.append(engine.database.state_digest())
+    return out
+
+
+def _mode_config(mode: str, **overrides) -> dict:
+    return dict(
+        columnar_ops=(mode != "reference"),
+        batched_exec=(mode == "batched"),
+        **overrides,
+    )
+
+
+def _three_way(build, batches, **overrides):
+    """Assert reference == columnar == batched on fresh engines."""
+    runs = {}
+    for mode in ("reference", "columnar", "batched"):
+        engine = build(_mode_config(mode, **overrides))
+        runs[mode] = _observe(engine, batches)
+    assert runs["columnar"] == runs["reference"]
+    assert runs["batched"] == runs["reference"]
+
+
+# ---------------------------------------------------------------------------
+# TPC-C: full procedure mix with the paper's optimizations on
+# ---------------------------------------------------------------------------
+def test_tpcc_full_mix_three_way_identical():
+    def make():
+        _, _, gen = build_tpcc(warehouses=2, num_items=2000, mix=FULL_MIX, seed=7)
+        return [
+            [(t.procedure_name, t.params) for t in gen.make_batch(256)]
+            for _ in range(3)
+        ]
+
+    def build(mode_kwargs):
+        db, registry, _ = build_tpcc(
+            warehouses=2, num_items=2000, mix=FULL_MIX, seed=7
+        )
+        config = LTPGConfig(
+            batch_size=256,
+            delayed_update=True,
+            delayed_columns=DELAYED_COLUMNS,
+            split_flags=True,
+            split_columns=SPLIT_COLUMNS,
+            **mode_kwargs,
+        )
+        return LTPGEngine(db, registry, config)
+
+    _three_way(build, make())
+
+
+# ---------------------------------------------------------------------------
+# YCSB: RMW hazards, delayed deltas, B-tree range scans
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "ycsb_kwargs, delayed",
+    [
+        (dict(num_records=2000, workload="a", zipf_alpha=2.5, seed=11), True),
+        (
+            dict(
+                num_records=2000,
+                workload="a",
+                zipf_alpha=1.2,
+                seed=5,
+                commutative_updates=False,
+            ),
+            False,
+        ),
+        (
+            dict(
+                num_records=2000,
+                workload="e",
+                zipf_alpha=0.9,
+                seed=11,
+                btree_scans=True,
+            ),
+            False,
+        ),
+    ],
+    ids=["a-zipf25-delayed", "a-ablation-rmw", "e-btree-ranges"],
+)
+def test_ycsb_three_way_identical(ycsb_kwargs, delayed):
+    _, _, gen = build_ycsb(**ycsb_kwargs)
+    batches = [
+        [(t.procedure_name, t.params) for t in gen.make_batch(256)]
+        for _ in range(3)
+    ]
+
+    def build(mode_kwargs):
+        db, registry, _ = build_ycsb(**ycsb_kwargs)
+        config = LTPGConfig(
+            batch_size=256,
+            delayed_update=delayed,
+            delayed_columns=ycsb_delayed_columns() if delayed else frozenset(),
+            **mode_kwargs,
+        )
+        return LTPGEngine(db, registry, config)
+
+    _three_way(build, batches)
+
+
+# ---------------------------------------------------------------------------
+# SmallBank: six procedures, all with never-falling-back twins
+# ---------------------------------------------------------------------------
+def test_smallbank_three_way_identical():
+    _, _, gen = build_smallbank(num_accounts=500, zipf_alpha=1.2, seed=3)
+    batches = [
+        [(t.procedure_name, t.params) for t in gen.make_batch(256)]
+        for _ in range(3)
+    ]
+
+    def build(mode_kwargs):
+        db, registry, _ = build_smallbank(
+            num_accounts=500, zipf_alpha=1.2, seed=3
+        )
+        return LTPGEngine(db, registry, LTPGConfig(batch_size=256, **mode_kwargs))
+
+    _three_way(build, batches)
+
+
+# ---------------------------------------------------------------------------
+# Mixed registry: some procedures batched, some scalar-only, plus
+# in-twin fall_back lanes — the three execution routes inside one batch
+# ---------------------------------------------------------------------------
+def _mixed_bank_registry():
+    db, registry = build_bank(accounts=32)
+
+    @registry.register_batched("deposit")
+    def deposit_b(bctx, p):
+        lanes = bctx.active_lanes()
+        keys = p.column(0)[lanes]
+        amounts = p.column(1)[lanes]
+        rows, found = bctx.rows_for_keys("accounts", lanes, keys)
+        bctx.add("accounts", lanes[found], rows[found], "balance", amounts[found])
+
+    @registry.register_batched("transfer")
+    def transfer_b(bctx, p):
+        lanes = bctx.active_lanes()
+        # send odd lanes to the scalar re-run on purpose: the test wants
+        # vectorized, fallback, and scalar-only lanes in the same batch
+        odd = lanes % 2 == 1
+        bctx.fall_back(lanes[odd])
+        lanes = lanes[~odd]
+        a = p.column(0)[lanes]
+        b = p.column(1)[lanes]
+        amount = p.column(2)[lanes]
+        bal_a, rows_a, found = bctx.read_keys("accounts", lanes, a, "balance")
+        lanes, b, amount = lanes[found], b[found], amount[found]
+        bal_b, rows_b, found_b = bctx.read_keys("accounts", lanes, b, "balance")
+        lanes = lanes[found_b]
+        bctx.write(
+            "accounts", lanes, rows_a[found_b], "balance",
+            bal_a[found_b] - amount[found_b],
+        )
+        bctx.write("accounts", lanes, rows_b, "balance", bal_b + amount[found_b])
+
+    return db, registry
+
+
+def test_mixed_batched_and_scalar_procedures_identical():
+    specs = []
+    for i in range(48):
+        specs.append(("transfer", (i % 32, (i + 7) % 32, 1 + i % 5)))
+        specs.append(("deposit", (i % 32, 2 + i % 3)))
+        # audit/open_account/bad have no batched twins: whole groups run
+        # through the engine's automatic per-transaction fallback
+        specs.append(("audit", (i % 32, (i + 3) % 32)))
+        if i % 11 == 0:
+            specs.append(("open_account", (100 + i, 9)))
+        if i % 13 == 0:
+            specs.append(("bad", (i % 32,)))
+    batches = [specs, specs[::-1]]
+
+    def build(mode_kwargs):
+        db, registry = _mixed_bank_registry()
+        return LTPGEngine(db, registry, LTPGConfig(batch_size=256, **mode_kwargs))
+
+    _three_way(build, batches)
+
+
+# ---------------------------------------------------------------------------
+# Unknown procedure names: clear error, no cache poisoning
+# ---------------------------------------------------------------------------
+def test_unknown_procedure_clear_error_and_clean_cache():
+    db, registry = build_bank(accounts=8)
+    engine = LTPGEngine(db, registry, LTPGConfig(batch_size=8))
+
+    with pytest.raises(TransactionError) as excinfo:
+        engine.run_batch([Transaction("no_such_proc", (1,), tid=0)])
+    message = str(excinfo.value)
+    assert "no_such_proc" in message
+    assert "registered procedures" in message
+    assert "deposit" in message  # tells the user what *is* available
+
+    # the failed lookup must not have poisoned the procedure cache:
+    # a valid batch still executes on the same engine...
+    result = engine.run_batch([Transaction("deposit", (1, 5), tid=0)])
+    assert result.stats.committed == 1
+
+    # ...and the unknown name keeps raising the same clear error
+    with pytest.raises(TransactionError, match="no_such_proc"):
+        engine.run_batch([Transaction("no_such_proc", (1,), tid=1)])
+
+
+def test_unknown_procedure_same_error_in_batched_mode():
+    db, registry = build_bank(accounts=8)
+    engine = LTPGEngine(
+        db, registry,
+        LTPGConfig(batch_size=8, columnar_ops=True, batched_exec=True),
+    )
+    with pytest.raises(TransactionError, match="no_such_proc"):
+        engine.run_batch([Transaction("no_such_proc", (1,), tid=0)])
+    result = engine.run_batch([Transaction("deposit", (1, 5), tid=0)])
+    assert result.stats.committed == 1

@@ -35,3 +35,12 @@ def test_execute_phase_within_30pct_of_committed_baseline():
         "investigate, or regenerate the baseline with "
         "`python benchmarks/bench_wallclock.py` if the change is intended"
     )
+
+
+@pytest.mark.perf
+def test_batched_beats_columnar_on_execute_writeback():
+    gate = _load_gate()
+    assert gate.check_batched() == 0, (
+        "the batched executor no longer beats the columnar path by the "
+        "required floor on execute+writeback at the headline batch size"
+    )

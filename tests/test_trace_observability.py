@@ -334,3 +334,37 @@ def test_check_trace_rejects_malformed_traces():
     errors = check_trace.validate(bad, min_tracks=1)
     assert any("escapes" in e for e in errors)
     assert any("missing phase span" in e for e in errors)
+
+
+# -- per-procedure-group execute observability -------------------------------
+
+def test_execute_group_spans_and_metrics():
+    """Each traced batch subdivides its execute window into one span per
+    procedure group (track ``execute.groups``), and the metrics registry
+    tallies per-procedure ops and lane counts."""
+    tracer, metrics, run = capture("tpcc", batches=2, batch_size=96)
+
+    group_spans = [s for s in tracer.spans if s.track == "execute.groups"]
+    assert group_spans, "no per-procedure-group execute spans recorded"
+    names = {s.name for s in group_spans}
+    assert names <= {"execute:neworder", "execute:payment"}
+    assert len(names) == 2  # the 50/50 mix runs both procedures
+    for span in group_spans:
+        assert span.cat == "group"
+        assert span.args["lanes"] > 0
+        assert span.args["ops"] >= 0
+        assert span.end_ns >= span.start_ns
+    # spans account for every transaction of every batch exactly once
+    assert sum(s.args["lanes"] for s in group_spans) == run.total_admitted
+
+    ops_hist = metrics.histogram("execute.procedure_ops")
+    size_hist = metrics.histogram("execute.group_size")
+    assert set(ops_hist.counts) == {"neworder", "payment"}
+    assert size_hist.counts["neworder"] + size_hist.counts["payment"] \
+        == run.total_admitted
+    # ops tallies match what the spans carried
+    for proc in ("neworder", "payment"):
+        span_ops = sum(
+            s.args["ops"] for s in group_spans if s.name == f"execute:{proc}"
+        )
+        assert ops_hist.counts[proc] == span_ops
