@@ -58,6 +58,18 @@ def main() -> int:
             f"batched execute speedup over columnar at batch {headline}: "
             f"{result.batched_speedup(headline):.2f}x (acceptance floor: 3x)"
         )
+    if headline in result.seconds.get("parallel", {}):
+        cores = os.cpu_count() or 1
+        floor = (
+            "acceptance floor: 1.5x"
+            if cores >= 4
+            else f"floor not enforced: host has {cores} core(s)"
+        )
+        print(
+            f"parallel execute speedup over batched at batch {headline} "
+            f"({result.meta.get('parallel_workers')} workers): "
+            f"{result.parallel_speedup(headline):.2f}x ({floor})"
+        )
     print(f"wrote {out}")
     return 0
 

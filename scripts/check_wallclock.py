@@ -49,6 +49,16 @@ BATCHED_FLOOR = 1.5
 #: allowed factor — the limit stays equally strict on the true cost.
 DEFAULT_ROUNDS = 8
 
+#: Worker count and speedup floor for the process-parallel execute gate:
+#: at the headline batch, 4 workers must beat the in-process batched
+#: path by 1.5x on the execute phase.  Hosts with fewer than
+#: PARALLEL_MIN_CORES cores cannot meaningfully run 4 workers, so the
+#: gate auto-skips there (exit 0 with a message) instead of failing on
+#: honest scheduling contention.
+PARALLEL_WORKERS = 4
+PARALLEL_FLOOR = 1.5
+PARALLEL_MIN_CORES = 4
+
 
 def check(
     baseline_path: str,
@@ -127,6 +137,55 @@ def check_batched(rounds: int = DEFAULT_ROUNDS, floor: float = BATCHED_FLOOR) ->
     return 0
 
 
+def check_parallel(
+    rounds: int = DEFAULT_ROUNDS,
+    floor: float = PARALLEL_FLOOR,
+    workers: int = PARALLEL_WORKERS,
+) -> int:
+    """Gate the process-parallel executor: at the headline batch,
+    ``workers`` workers must beat the in-process batched path by at
+    least ``floor`` on the execute phase.
+
+    Like the batched gate this is a ratio of two fresh local
+    measurements.  On hosts without enough cores to actually run the
+    workers side by side the gate skips (exit 0): a 1-core container
+    would only be measuring the OS scheduler.
+    """
+    cores = os.cpu_count() or 1
+    if cores < PARALLEL_MIN_CORES:
+        print(
+            f"parallel gate skipped: host has {cores} core(s), "
+            f"need >= {PARALLEL_MIN_CORES} to run {workers} workers "
+            "side by side"
+        )
+        return 0
+    from repro.bench import wallclock
+
+    batched = wallclock.measure_path(
+        columnar=True, batch_size=BATCHED_GATE_BATCH, scale=1.0, rounds=rounds,
+        batched=True,
+    )
+    parallel = wallclock.measure_path(
+        columnar=True, batch_size=BATCHED_GATE_BATCH, scale=1.0, rounds=rounds,
+        batched=True, parallel=workers,
+    )
+    ratio = batched["execute"] / max(parallel["execute"], 1e-12)
+    status = "OK" if ratio >= floor else "FAIL"
+    print(
+        f"parallel execute @ batch {BATCHED_GATE_BATCH} ({workers} workers): "
+        f"batched {batched['execute'] * 1e3:.1f} ms, parallel "
+        f"{parallel['execute'] * 1e3:.1f} ms, speedup {ratio:.2f}x "
+        f"(floor {floor:.2f}x) -> {status}"
+    )
+    if status == "FAIL":
+        print(
+            f"{workers} parallel workers no longer beat the in-process "
+            f"batched path by the required {floor:.2f}x on execute"
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -154,10 +213,23 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-batched", action="store_true",
         help="only run the columnar regression gate",
     )
+    parser.add_argument(
+        "--parallel-floor", type=float, default=PARALLEL_FLOOR,
+        help=f"{PARALLEL_WORKERS} workers must beat the batched path on "
+        f"execute by this factor at batch {BATCHED_GATE_BATCH} "
+        f"(default {PARALLEL_FLOOR}; auto-skips below "
+        f"{PARALLEL_MIN_CORES} cores)",
+    )
+    parser.add_argument(
+        "--skip-parallel", action="store_true",
+        help="skip the process-parallel speedup gate",
+    )
     args = parser.parse_args(argv)
     rc = check(args.baseline, args.allowed_factor, args.rounds)
     if rc == 0 and not args.skip_batched:
         rc = check_batched(args.rounds, args.batched_floor)
+    if rc == 0 and not args.skip_parallel:
+        rc = check_parallel(args.rounds, args.parallel_floor)
     return rc
 
 

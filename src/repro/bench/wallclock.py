@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
 import sys
 from dataclasses import dataclass, field
@@ -72,8 +73,15 @@ class WallclockResult:
             self.seconds["batched"][batch][phase], 1e-12
         )
 
+    def parallel_speedup(self, batch: int, phase: str = "execute") -> float:
+        """Batched (in-process) / parallel on one phase (or ``total``)."""
+        return self.seconds["batched"][batch][phase] / max(
+            self.seconds["parallel"][batch][phase], 1e-12
+        )
+
     def format(self) -> str:
         have_batched = "batched" in self.seconds
+        have_parallel = "parallel" in self.seconds
         headers = [
             "batch size",
             "columnar exec+conf (s)",
@@ -82,6 +90,8 @@ class WallclockResult:
         ]
         if have_batched:
             headers += ["batched exec (s)", "batched speedup (exec)"]
+        if have_parallel:
+            headers += ["parallel exec (s)", "parallel speedup (exec)"]
         rows = []
         for b in sorted(self.seconds.get("columnar", {})):
             row = [
@@ -95,14 +105,20 @@ class WallclockResult:
                     self.seconds["batched"][b]["execute"],
                     f"{self.batched_speedup(b):.2f}x",
                 ]
+            if have_parallel:
+                row += [
+                    self.seconds["parallel"][b]["execute"],
+                    f"{self.parallel_speedup(b):.2f}x",
+                ]
             rows.append(row)
         table = format_table(
-            "Host wall-clock per batch: batched vs columnar vs reference "
-            "op path (TPC-C 50/50)",
+            "Host wall-clock per batch: parallel vs batched vs columnar "
+            "vs reference op path (TPC-C 50/50)",
             headers,
             rows,
             note="speedup = reference / columnar on execute+conflict; "
             "batched speedup = columnar / batched on execute; "
+            "parallel speedup = batched / parallel on execute; "
             "simulated-time results are identical by construction.",
         )
         if self.metrics:
@@ -132,6 +148,14 @@ class WallclockResult:
                 for b in sorted(self.seconds.get("columnar", {}))
                 if b in self.seconds.get("batched", {})
             },
+            "speedup_parallel": {
+                str(b): {
+                    "execute": round(self.parallel_speedup(b, "execute"), 3),
+                    "total": round(self.parallel_speedup(b, "total"), 3),
+                }
+                for b in sorted(self.seconds.get("batched", {}))
+                if b in self.seconds.get("parallel", {})
+            },
             "metrics": self.metrics,
         }
 
@@ -150,11 +174,15 @@ def measure_path(
     neworder_pct: int = 50,
     seed: int = 7,
     batched: bool = False,
+    parallel: int = 0,
 ) -> dict[str, float]:
     """Min-of-rounds per-phase host seconds for one op path.
 
     Builds a fresh database (all paths see byte-identical transaction
-    streams for a given seed) and discards one warm-up batch.
+    streams for a given seed) and discards one warm-up batch.  A
+    ``parallel`` worker count > 0 measures the process-parallel sharded
+    execute (implies the batched path); the warm-up batch also absorbs
+    the pool start-up and snapshot export.
     """
     bench = tpcc_bench(
         warehouses, neworder_pct=neworder_pct, batch_size=batch_size,
@@ -162,18 +190,22 @@ def measure_path(
     )
     config = dataclasses.replace(
         ltpg_config(bench.batch_size),
-        columnar_ops=columnar or batched,
-        batched_exec=batched,
+        columnar_ops=columnar or batched or parallel > 0,
+        batched_exec=batched or parallel > 0,
+        parallel_workers=parallel,
     )
     engine = bench.engine(config)
-    engine.run_batch(bench.generator.make_batch(bench.batch_size))  # warm-up
-    best: dict[str, float] = {}
-    for _ in range(max(rounds, 1)):
-        engine.run_batch(bench.generator.make_batch(bench.batch_size))
-        for phase in PHASES:
-            t = engine.last_host_phase_s.get(phase, 0.0)
-            if phase not in best or t < best[phase]:
-                best[phase] = t
+    try:
+        engine.run_batch(bench.generator.make_batch(bench.batch_size))  # warm-up
+        best: dict[str, float] = {}
+        for _ in range(max(rounds, 1)):
+            engine.run_batch(bench.generator.make_batch(bench.batch_size))
+            for phase in PHASES:
+                t = engine.last_host_phase_s.get(phase, 0.0)
+                if phase not in best or t < best[phase]:
+                    best[phase] = t
+    finally:
+        engine.close()
     best["total"] = sum(best[p] for p in PHASES)
     return best
 
@@ -208,6 +240,12 @@ def measure_metrics(
     return run_stats.metrics_summary()
 
 
+#: Worker count the ``parallel`` sweep path runs with (the acceptance
+#: gate's configuration; ``os.cpu_count()`` decides whether the gate is
+#: enforced, not how the measurement runs).
+PARALLEL_WORKERS = 4
+
+
 def run(
     scale: float = 1.0,
     rounds: int = 2,
@@ -215,6 +253,7 @@ def run(
     warehouses: int = 32,
     neworder_pct: int = 50,
     seed: int = 7,
+    parallel_workers: int = PARALLEL_WORKERS,
 ) -> WallclockResult:
     result = WallclockResult()
     result.meta = {
@@ -227,19 +266,24 @@ def run(
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "parallel_workers": parallel_workers,
     }
     paths = (
-        ("batched", True, True),
-        ("columnar", True, False),
-        ("reference", False, False),
+        ("parallel", True, True, parallel_workers),
+        ("batched", True, True, 0),
+        ("columnar", True, False, 0),
+        ("reference", False, False, 0),
     )
-    for path, columnar, batched in paths:
+    for path, columnar, batched, workers in paths:
+        if path == "parallel" and workers <= 0:
+            continue
         by_batch: dict[int, dict[str, float]] = {}
         for batch in batch_sizes:
             by_batch[batch] = measure_path(
                 columnar, batch, scale=scale, rounds=rounds,
                 warehouses=warehouses, neworder_pct=neworder_pct, seed=seed,
-                batched=batched,
+                batched=batched, parallel=workers,
             )
         result.seconds[path] = by_batch
     result.metrics = measure_metrics(

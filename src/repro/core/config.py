@@ -15,9 +15,10 @@ ablation benches (Fig 6(b), Table VI) can enable them one at a time:
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 
-from repro.errors import TransactionError
+from repro.errors import ConfigError
 
 
 class MemoryMode(enum.Enum):
@@ -77,6 +78,26 @@ class LTPGConfig:
     #: requires ``columnar_ops``.
     batched_exec: bool = False
 
+    #: Process-parallel execute (the host analog of the paper's multi-SM
+    #: data parallelism): shard each batched procedure group across a
+    #: persistent pool of this many worker processes reading the snapshot
+    #: through shared memory.  ``0`` (the default) keeps execution
+    #: in-process; any N produces byte-identical outcomes.  Requires
+    #: ``batched_exec`` and is incompatible with ``sanitize`` (the shadow
+    #: access log cannot observe child processes).
+    parallel_workers: int = 0
+
+    #: Multiprocessing start method for the worker pool: ``"fork"``,
+    #: ``"spawn"``, ``"forkserver"``, or ``""`` to defer to the
+    #: ``REPRO_PARALLEL_START_METHOD`` environment variable and then the
+    #: platform default.
+    parallel_start_method: str = ""
+
+    #: Overlap batch assembly with execution: the steady-state runner
+    #: generates batch k+1 on a helper thread while batch k executes.
+    #: Produces identical RunStats; purely a wall-clock optimization.
+    prefetch_assembly: bool = False
+
     #: Columns managed by delayed updates: {(table, column), ...}.  These
     #: must be accessed only through ADD operations within a batch.
     delayed_columns: frozenset[tuple[str, str]] = frozenset()
@@ -103,14 +124,43 @@ class LTPGConfig:
 
     def __post_init__(self) -> None:
         if self.batch_size <= 0:
-            raise TransactionError("batch size must be positive")
+            raise ConfigError("batch size must be positive")
         if self.retry_delay_batches < 1:
-            raise TransactionError("retry delay must be >= 1 batch")
+            raise ConfigError("retry delay must be >= 1 batch")
         if self.batched_exec and not self.columnar_ops:
-            raise TransactionError(
+            raise ConfigError(
                 "batched_exec requires columnar_ops (the batched executor "
                 "feeds the columnar collection pipeline)"
             )
+        if self.parallel_workers < 0:
+            raise ConfigError("parallel_workers must be >= 0")
+        if self.parallel_workers > 0 and self.sanitize:
+            raise ConfigError(
+                "parallel_workers is incompatible with sanitize: the shadow "
+                "access log cannot observe worker processes, so racecheck/"
+                "memcheck coverage would silently be lost.  Run sanitized "
+                "batches with parallel_workers=0 (outcomes are byte-identical)"
+            )
+        if self.parallel_workers > 0 and not self.batched_exec:
+            raise ConfigError(
+                "parallel_workers requires batched_exec: only vectorized "
+                "BatchProcedure twins are sharded across worker processes"
+            )
+        if self.parallel_start_method not in ("", "fork", "spawn", "forkserver"):
+            raise ConfigError(
+                "parallel_start_method must be '', 'fork', 'spawn', or "
+                f"'forkserver', not {self.parallel_start_method!r}"
+            )
+
+    def resolved_start_method(self) -> str | None:
+        """The multiprocessing start method the worker pool should use:
+        the explicit config value, else ``REPRO_PARALLEL_START_METHOD``
+        from the environment, else ``None`` (platform default)."""
+        return (
+            self.parallel_start_method
+            or os.environ.get("REPRO_PARALLEL_START_METHOD", "")
+            or None
+        )
 
     @property
     def effective_retry_delay(self) -> int:

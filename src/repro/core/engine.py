@@ -178,6 +178,60 @@ class LTPGEngine:
         # (procedure, lanes, ops) per execute group of the last batch,
         # recorded only when tracing/metrics are on (observability).
         self._last_groups: list[tuple[str, int, int]] = []
+        # Worker pool for config.parallel_workers > 0, created lazily on
+        # the first batched execute so procedures registered after
+        # engine construction are picked up.  Owned by this engine:
+        # close() (or the context manager) tears it down.
+        self._pool = None
+        # (worker, lanes, ops) per dispatched shard of the last batch,
+        # plus host seconds spent merging shard results.
+        self._last_shards: list[tuple[int, int, int]] = []
+        self._last_merge_s = 0.0
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release engine-owned process resources (the parallel worker
+        pool and its shared-memory snapshot).  Idempotent; running with
+        ``parallel_workers=0`` makes this a no-op."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "LTPGEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        """The lazily-created worker pool, rebuilt if the procedure
+        registry changed since the pool pickled its twins."""
+        if (
+            self._pool is not None
+            and self._pool.registry_version != self.procedures.version
+        ):
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            from repro.parallel import WorkerPool
+
+            twins = {
+                name: self.procedures.get_batched(name)
+                for name in self.procedures.batched_names()
+            }
+            self._pool = WorkerPool(
+                self.database,
+                twins,
+                num_workers=self.config.parallel_workers,
+                start_method=self.config.resolved_start_method(),
+                delayed_columns=(
+                    self.config.delayed_columns
+                    if self.config.delayed_update
+                    else frozenset()
+                ),
+                registry_version=self.procedures.version,
+            )
+        return self._pool
 
     # ------------------------------------------------------------------
     def run_batch(self, transactions: list[Transaction]) -> BatchResult:
@@ -346,6 +400,7 @@ class LTPGEngine:
         if self.tracer is None and self.metrics is None:
             return
         self._record_group_observability(exec_span)
+        self._record_shard_observability(exec_span)
         log_metrics = self.conflict_log.batch_metrics()
         stats.bucket_load_factor = float(log_metrics["load_factor"])
         stats.bucket_expanded_slots = int(log_metrics["expanded_slots"])
@@ -442,6 +497,49 @@ class LTPGEngine:
             for name, lanes, ops in groups:
                 ops_hist.observe(name, ops)
                 size_hist.observe(name, lanes)
+
+    #: Track carrying per-worker shard spans when the process-parallel
+    #: executor is on (empty track otherwise).
+    SHARD_TRACK = "execute.shards"
+
+    def _record_shard_observability(
+        self, exec_span: tuple[float, float] | None
+    ) -> None:
+        """Per-worker shard spans and counters (parallel execute only).
+
+        Shard spans subdivide the simulated execute window by op count,
+        like the group spans: the simulated cost model charges the same
+        work regardless of which process ran a lane, so the spans stay
+        deterministic.  The one host-clock measurement — shard merge
+        time — goes only to the metrics registry, never the tracer, so
+        traces remain byte-stable run to run.
+        """
+        shards = self._last_shards
+        if not shards:
+            return
+        if self.tracer is not None and exec_span is not None:
+            g_start, g_dur = exec_span
+            total_ops = sum(ops for _, _, ops in shards) or 1
+            cursor = g_start
+            for si, (worker, lanes, ops) in enumerate(shards):
+                end = (
+                    max(cursor, g_start + g_dur)
+                    if si == len(shards) - 1
+                    else cursor + g_dur * ops / total_ops
+                )
+                self.tracer.complete(
+                    f"shard:w{worker}", self.SHARD_TRACK, cursor,
+                    end - cursor, cat="shard",
+                    args={"worker": worker, "lanes": lanes, "ops": ops},
+                )
+                cursor = end
+        if self.metrics is not None:
+            lanes_hist = self.metrics.histogram("execute.shard_lanes")
+            for worker, lanes, _ops in shards:
+                lanes_hist.observe(f"w{worker}", lanes)
+            self.metrics.gauge("execute.merge_ns").set(
+                self._last_merge_s * 1e9
+            )
 
     # ------------------------------------------------------------------
     # Shadow-access recording (``config.sanitize``).  Addresses are
@@ -676,6 +774,9 @@ class LTPGEngine:
         for i, txn in enumerate(transactions):
             txn.reset_for_execution()
             groups.setdefault(txn.procedure_name, []).append(i)
+        if self.config.parallel_workers > 0:
+            self._execute_batched_parallel(transactions, data, groups)
+            return
         delayed_fn = (
             self.delayed.delayed_mask if self.delayed.columns else None
         )
@@ -684,12 +785,9 @@ class LTPGEngine:
             proc = self._resolve_procedure(name)
             batched = self.procedures.get_batched(name)
             if batched is None:
-                part = GroupLocals(n)
-                for i in idxs:
-                    txn = transactions[i]
-                    self._execute_one(txn, proc, data)
-                    self._fold_scalar_locals(part, i, txn, data)
-                parts.append(part)
+                parts.append(
+                    self._execute_scalar_group(transactions, data, proc, idxs)
+                )
                 continue
             bctx = BatchedContext(
                 self.database,
@@ -698,39 +796,135 @@ class LTPGEngine:
             )
             batched(bctx, bctx.params)
             mat, counts, g_locals, ranges_by_lane = bctx.finalize()
-            # zero-copy byte window over the lane-sorted op matrix;
-            # per-lane slices stay views until frombytes copies them
-            if mat.size:
-                raw = memoryview(np.ascontiguousarray(mat)).cast("B")
-            else:
-                raw = b""
-            bounds = np.zeros(len(idxs) + 1, dtype=np.int64)
-            np.cumsum(counts, out=bounds[1:])
-            bounds *= OP_FIELDS * 8
-            part = g_locals.rekeyed(np.asarray(idxs, dtype=np.int64), n)
-            bounds_l = bounds.tolist()
-            fallback_l = bctx.fallback.tolist()
-            aborted_l = bctx.aborted.tolist()
-            from_flat = OpColumns.from_flat
-            executed = TxnStatus.EXECUTED
-            get_ranges = ranges_by_lane.get
-            for li, i in enumerate(idxs):
-                txn = transactions[i]
-                if fallback_l[li]:
-                    self._execute_one(txn, proc, data)
-                    self._fold_scalar_locals(part, i, txn, data)
-                    continue
-                txn.ops = from_flat(raw[bounds_l[li]:bounds_l[li + 1]])
-                if aborted_l[li]:
-                    txn.status = TxnStatus.LOGIC_ABORTED
-                    txn.abort_reason = "logic"
-                else:
-                    txn.status = executed
-                    lane_ranges = get_ranges(li)
-                    if lane_ranges:
-                        data.ranges_by_tid[txn.tid] = lane_ranges
-            parts.append(part)
+            parts.append(self._apply_batched_group(
+                transactions, data, proc, idxs, mat, counts, g_locals,
+                ranges_by_lane, bctx.fallback, bctx.aborted,
+            ))
         data.batch_locals = GroupLocals.merge(parts, n)
+
+    def _execute_scalar_group(
+        self, transactions, data: "_ExecutionData", proc, idxs: list[int]
+    ) -> GroupLocals:
+        """One twin-less group through the scalar path, folded columnar."""
+        part = GroupLocals(len(transactions))
+        for i in idxs:
+            txn = transactions[i]
+            self._execute_one(txn, proc, data)
+            self._fold_scalar_locals(part, i, txn, data)
+        return part
+
+    def _apply_batched_group(
+        self,
+        transactions,
+        data: "_ExecutionData",
+        proc,
+        idxs: list[int],
+        mat: np.ndarray,
+        counts: np.ndarray,
+        g_locals: GroupLocals,
+        ranges_by_lane: dict,
+        fallback: np.ndarray,
+        aborted: np.ndarray,
+    ) -> GroupLocals:
+        """Apply one group's finalized vectorized results — produced
+        in-process or merged back from worker shards — to the
+        transactions: slice per-lane ops out of the matrix, set
+        statuses, re-run fallback lanes through the scalar path."""
+        n = len(transactions)
+        # zero-copy byte window over the lane-sorted op matrix;
+        # per-lane slices stay views until frombytes copies them
+        if mat.size:
+            raw = memoryview(np.ascontiguousarray(mat)).cast("B")
+        else:
+            raw = b""
+        bounds = np.zeros(len(idxs) + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        bounds *= OP_FIELDS * 8
+        part = g_locals.rekeyed(np.asarray(idxs, dtype=np.int64), n)
+        bounds_l = bounds.tolist()
+        fallback_l = fallback.tolist()
+        aborted_l = aborted.tolist()
+        from_flat = OpColumns.from_flat
+        executed = TxnStatus.EXECUTED
+        get_ranges = ranges_by_lane.get
+        for li, i in enumerate(idxs):
+            txn = transactions[i]
+            if fallback_l[li]:
+                self._execute_one(txn, proc, data)
+                self._fold_scalar_locals(part, i, txn, data)
+                continue
+            txn.ops = from_flat(raw[bounds_l[li]:bounds_l[li + 1]])
+            if aborted_l[li]:
+                txn.status = TxnStatus.LOGIC_ABORTED
+                txn.abort_reason = "logic"
+            else:
+                txn.status = executed
+                lane_ranges = get_ranges(li)
+                if lane_ranges:
+                    data.ranges_by_tid[txn.tid] = lane_ranges
+        return part
+
+    def _execute_batched_parallel(
+        self, transactions, data: "_ExecutionData", groups: dict[str, list[int]]
+    ) -> None:
+        """Shard twin-backed groups across the worker pool
+        (``config.parallel_workers``).
+
+        Workers execute contiguous lane shards against the shared-memory
+        snapshot while the parent runs the twin-less groups; results
+        merge back in lane order, so every array fed to conflict
+        detection is byte-identical to the in-process batched path.
+        Fallback lanes are re-run scalar in the parent, exactly as the
+        in-process path does.
+        """
+        n = len(transactions)
+        pool = self._ensure_pool()
+        plan_groups: list[tuple[str, list[int]]] = []
+        sharded: list[tuple[str, list[tuple]]] = []
+        for name, idxs in groups.items():
+            # resolve up front: unknown procedures must raise before any
+            # dispatch, like the in-process group loop would
+            self._resolve_procedure(name)
+            if self.procedures.get_batched(name) is not None:
+                plan_groups.append((name, idxs))
+                sharded.append(
+                    (name, [transactions[i].params for i in idxs])
+                )
+        pool.dispatch(sharded)
+        # parent-side work overlaps the workers: twin-less groups run
+        # scalar here while the shards execute
+        scalar_parts: dict[str, GroupLocals] = {}
+        try:
+            for name, idxs in groups.items():
+                if self.procedures.get_batched(name) is None:
+                    scalar_parts[name] = self._execute_scalar_group(
+                        transactions, data, self._resolve_procedure(name), idxs
+                    )
+        except BaseException:
+            # still drain the pipes (or the next dispatch deadlocks),
+            # but never let a pool error mask the scalar one
+            try:
+                pool.collect()
+            except Exception:
+                pass
+            raise
+        merged = pool.collect()
+        parts: list[GroupLocals] = []
+        si = 0
+        for name, idxs in groups.items():
+            if name in scalar_parts:
+                parts.append(scalar_parts[name])
+                continue
+            mat, counts, g_locals, ranges_by_lane, fallback, aborted = merged[si]
+            si += 1
+            parts.append(self._apply_batched_group(
+                transactions, data, self._resolve_procedure(name), idxs,
+                mat, counts, g_locals, ranges_by_lane, fallback, aborted,
+            ))
+        data.batch_locals = GroupLocals.merge(parts, n)
+        if self.tracer is not None or self.metrics is not None:
+            self._last_shards = list(pool.last_shard_stats)
+            self._last_merge_s = pool.last_merge_s
 
     def _fold_scalar_locals(
         self, part: GroupLocals, idx: int, txn, data: "_ExecutionData"

@@ -39,6 +39,18 @@ class TransactionError(ReproError):
     outside an active transaction, ...)."""
 
 
+class ConfigError(TransactionError):
+    """Raised for invalid or contradictory :class:`LTPGConfig` settings
+    (subclasses :class:`TransactionError` so existing callers that catch
+    configuration failures keep working)."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when the process-parallel execute pool cannot be built or
+    a worker process dies (unpicklable procedure twin, crashed worker,
+    broken pipe, ...)."""
+
+
 class TransactionAborted(TransactionError):
     """Raised inside a stored procedure to signal a logic-initiated abort
     (e.g. TPC-C NewOrder's 1%% rollback)."""

@@ -1,0 +1,30 @@
+"""Process-parallel execute: shard batched procedure groups across a
+persistent pool of worker processes reading the snapshot through
+shared memory.
+
+The host analog of the paper's multi-SM data parallelism (§IV): the
+execute phase only reads the immutable batch snapshot and registers
+accesses, so lanes can run anywhere — here, in OS processes sharing the
+table columns zero-copy via ``multiprocessing.shared_memory``.  The
+parent merges shard results in lane (TID) order before conflict
+detection, keeping outcomes byte-identical for any worker count.
+
+Enabled with ``LTPGConfig(parallel_workers=N, batched_exec=True)``.
+"""
+
+from repro.parallel.pool import (
+    WorkerPool,
+    merge_shards,
+    shard_sizes,
+    shutdown_all_pools,
+)
+from repro.parallel.shm import SHM_PREFIX, SharedSnapshot
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedSnapshot",
+    "WorkerPool",
+    "merge_shards",
+    "shard_sizes",
+    "shutdown_all_pools",
+]

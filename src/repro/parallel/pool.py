@@ -1,0 +1,273 @@
+"""Persistent worker-process pool for the sharded execute phase.
+
+The pool is the parent-side orchestrator: it exports the database into
+shared memory (:class:`~repro.parallel.shm.SharedSnapshot`), starts N
+worker processes running :func:`~repro.parallel.worker.worker_main`,
+and per batch (1) ships the snapshot epoch deltas plus each worker's
+contiguous lane shards, (2) lets the parent execute scalar-only groups
+while the workers run, and (3) merges shard results back in lane order
+— which *is* TID order within a group — so conflict detection sees
+exactly the arrays an in-process ``batched_exec`` run would produce.
+
+Teardown is deterministic: engines own their pool via
+``LTPGEngine.close()`` (or the engine's context manager), and a
+module-level ``atexit`` guard sweeps anything still alive so an aborted
+``pytest -x`` run leaks neither child processes nor ``/dev/shm``
+segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import pickle
+import time
+import weakref
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ConfigError, ParallelExecutionError
+from repro.parallel.shm import SharedSnapshot
+from repro.parallel.worker import worker_main
+from repro.storage.database import Database
+from repro.txn.batch_context import GroupLocals
+from repro.txn.operations import interned_columns
+
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def shutdown_all_pools() -> None:
+    """Close every live pool (the ``atexit`` sweep; idempotent)."""
+    for pool in list(_LIVE_POOLS):
+        pool.close()
+
+
+atexit.register(shutdown_all_pools)
+
+
+def shard_sizes(num_lanes: int, num_workers: int) -> list[int]:
+    """Contiguous, deterministic lane split: the first ``num_lanes %
+    num_workers`` workers get one extra lane.  Zero-size shards (group
+    smaller than the pool) are simply not dispatched."""
+    base, rem = divmod(num_lanes, num_workers)
+    return [base + (1 if w < rem else 0) for w in range(num_workers)]
+
+
+def merge_shards(shards: Sequence[tuple], lane_offsets: Sequence[int]) -> tuple:
+    """Concatenate shard results back into one group result.
+
+    Shards arrive in lane order (worker 0 ran the lowest lanes), so op
+    matrices and masks concatenate directly; locals re-key through
+    :meth:`GroupLocals.concat_shards`; range predicates re-base their
+    lane keys.  Returns ``(mat, counts, locals, ranges_by_lane,
+    fallback, aborted)`` — the same shape ``BatchedContext.finalize``
+    plus its masks produce for the whole group.
+    """
+    if len(shards) == 1:
+        return shards[0]
+    mats, counts, locs, ranges, fbs, abs_ = zip(*shards)
+    num_lanes = sum(c.size for c in counts)
+    merged_ranges: dict[int, list] = {}
+    for shard_ranges, off in zip(ranges, lane_offsets):
+        for lane, preds in shard_ranges.items():
+            merged_ranges[lane + off] = preds
+    return (
+        np.vstack(mats),
+        np.concatenate(counts),
+        GroupLocals.concat_shards(list(locs), list(lane_offsets), num_lanes),
+        merged_ranges,
+        np.concatenate(fbs),
+        np.concatenate(abs_),
+    )
+
+
+class WorkerPool:
+    """N worker processes sharing one exported snapshot."""
+
+    def __init__(
+        self,
+        database: Database,
+        twins: dict[str, Any],
+        num_workers: int,
+        start_method: str | None = None,
+        delayed_columns: frozenset[tuple[str, str]] = frozenset(),
+        registry_version: int = -1,
+    ):
+        if num_workers <= 0:
+            raise ConfigError("worker pool needs at least one worker")
+        self.registry_version = registry_version
+        self.num_workers = num_workers
+        self.last_merge_s = 0.0
+        self.last_shard_stats: list[tuple[int, int, int]] = []
+        self._conns: list = []
+        self._procs: list = []
+        self._pending: list | None = None
+        self._closed = False
+        for name, twin in sorted(twins.items()):
+            try:
+                pickle.dumps(twin)
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"batched twin for procedure {name!r} is not picklable "
+                    f"({exc}); parallel workers need module-level "
+                    "BatchProcedure twins (closures cannot be shipped to "
+                    "spawn-started processes)"
+                ) from exc
+        try:
+            ctx = mp.get_context(start_method)
+        except ValueError as exc:
+            raise ConfigError(
+                f"unknown multiprocessing start method {start_method!r}"
+            ) from exc
+        self.snapshot = SharedSnapshot(database)
+        init = {
+            "db_name": database.name,
+            "columns": interned_columns(),
+            "tables": self.snapshot.full_specs(),
+            "twins": twins,
+            "delayed_columns": tuple(sorted(delayed_columns)),
+        }
+        try:
+            for w in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child_conn,),
+                    name=f"ltpg-worker-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                parent_conn.send(init)
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for w, conn in enumerate(self._conns):
+                try:
+                    kind, payload = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ParallelExecutionError(
+                        f"worker {w} died during pool initialization"
+                    ) from exc
+                if kind != "ready":
+                    raise ParallelExecutionError(
+                        f"worker {w} failed to initialize: {payload!r}"
+                    )
+        except BaseException:
+            self.close()
+            raise
+        _LIVE_POOLS.add(self)
+
+    # -- per-batch protocol -------------------------------------------------
+    def dispatch(self, groups: Sequence[tuple[str, list[tuple]]]) -> None:
+        """Send this batch's work: ``groups`` is ``[(procedure_name,
+        params_in_lane_order), ...]``.  Every worker receives the epoch
+        deltas (even with no shards) so replicas stay in sync; shards
+        are contiguous lane ranges per group."""
+        if self._closed:
+            raise ParallelExecutionError("worker pool is closed")
+        if self._pending is not None:
+            raise ParallelExecutionError("previous dispatch not collected")
+        deltas = self.snapshot.collect_deltas()
+        tasks: list[list] = [[] for _ in range(self.num_workers)]
+        pending = []
+        for gi, (name, params) in enumerate(groups):
+            sizes = shard_sizes(len(params), self.num_workers)
+            off = 0
+            for w, size in enumerate(sizes):
+                if size:
+                    tasks[w].append((gi, name, params[off:off + size]))
+                off += size
+            pending.append(sizes)
+        try:
+            for conn, work in zip(self._conns, tasks):
+                conn.send((deltas, work))
+        except (BrokenPipeError, OSError) as exc:
+            raise ParallelExecutionError(
+                "worker pipe broke during dispatch (worker process died?)"
+            ) from exc
+        self._pending = pending
+
+    def collect(self) -> list[tuple]:
+        """Receive every worker's shard results and merge them back into
+        per-group results, in the group order given to :meth:`dispatch`."""
+        pending = self._pending
+        if pending is None:
+            raise ParallelExecutionError("collect() without a dispatch()")
+        self._pending = None
+        replies: list[dict[int, tuple]] = []
+        dead: list[int] = []
+        error: BaseException | None = None
+        for w, conn in enumerate(self._conns):
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError):
+                dead.append(w)
+                replies.append({})
+                continue
+            if kind == "err":
+                if error is None:
+                    error = payload
+                replies.append({})
+            else:
+                replies.append(dict(payload))
+        if dead:
+            raise ParallelExecutionError(
+                f"worker(s) {dead} died while executing a batch"
+            )
+        if error is not None:
+            raise error
+        t0 = time.perf_counter()
+        merged = []
+        stats: list[tuple[int, int, int]] = []
+        for gi, sizes in enumerate(pending):
+            shards = []
+            offsets = []
+            off = 0
+            for w, size in enumerate(sizes):
+                if size:
+                    result = replies[w][gi]
+                    shards.append(result)
+                    offsets.append(off)
+                    stats.append((w, size, int(result[1].sum())))
+                off += size
+            merged.append(merge_shards(shards, offsets))
+        self.last_merge_s = time.perf_counter() - t0
+        self.last_shard_stats = stats
+        return merged
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Shut workers down, join them, and release the snapshot.
+        Idempotent; also invoked by the ``atexit`` sweep."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_POOLS.discard(self)
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns = []
+        self._procs = []
+        snapshot = getattr(self, "snapshot", None)
+        if snapshot is not None:
+            snapshot.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,275 @@
+"""Shared-memory snapshot export for the process-parallel executor.
+
+The execute phase only *reads* the snapshot (procedures buffer their
+effects; mutation happens at write-back, in the parent).  That makes the
+table columns safe to share: the parent exports every table's key array
+and attribute columns into one ``multiprocessing.shared_memory`` segment
+per table and *repoints its own arrays at the shared views*, so the
+write-back scatters of subsequent batches mutate shared memory directly
+and workers see the new snapshot without any copying.
+
+What shared memory cannot carry is the Python-object side of a table —
+the primary/secondary/ordered indexes.  Those are shipped whole at pool
+start and then kept in sync with a per-batch *epoch delta* protocol
+(:meth:`SharedSnapshot.collect_deltas`):
+
+``("intern", names)``
+    Column names interned by the parent since the last batch; workers
+    intern them in the same order so the int64 column ids in op
+    matrices agree across processes.
+``("append", tid, num_rows)``
+    The table gained rows since the last epoch.  Row payloads are
+    already visible through shared memory, so the worker only replays
+    the index maintenance: bulk-insert the new keys into the primary
+    index and run ``index_appended`` over the new slots.
+``("export", spec)``
+    Structural change — the table grew past its exported capacity
+    (``Table._grow`` reallocates with ``np.resize``, detaching the
+    parent from the old segment), gained an index, or is new.  The
+    parent re-exports into a fresh segment and ships a full spec,
+    including pickled indexes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.storage.database import Database
+from repro.storage.table import Table
+from repro.txn.operations import (
+    KEY_COLUMN,
+    column_interner_size,
+    intern_column,
+    interned_columns,
+)
+
+#: Every segment name starts with this (visible as ``/dev/shm/ltpg_*``),
+#: so tests can assert the suite leaves no segments behind.
+SHM_PREFIX = "ltpg_"
+
+_COUNTER = itertools.count()
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    while True:
+        name = f"{SHM_PREFIX}{os.getpid()}_{next(_COUNTER)}"
+        try:
+            return shared_memory.SharedMemory(
+                create=True, size=max(nbytes, 8), name=name
+            )
+        except FileExistsError:
+            continue
+
+
+def _release(shm: shared_memory.SharedMemory, unlink: bool) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # A stray NumPy view still references the mapping; the name can
+        # be removed regardless and the memory is reclaimed at exit.
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def disable_shm_tracking() -> None:
+    """Stop the resource tracker from tracking shared-memory attachments
+    in *this* process.  Workers call it once before attaching: the
+    parent owns every segment's lifetime, and (before Python 3.13's
+    ``track=False``) a tracked worker attachment either spawns a
+    worker-local tracker that unlinks the segment under the parent
+    (spawn) or writes into the tracker shared with the parent,
+    cancelling its registration (fork)."""
+    orig = resource_tracker.register
+
+    def register(name: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            orig(name, rtype)
+
+    resource_tracker.register = register
+
+
+def _index_sig(table: Table) -> tuple:
+    return (tuple(sorted(table.secondary)), table.ordered is not None)
+
+
+class _Seg:
+    __slots__ = ("shm", "capacity", "rows", "columns", "arrays", "index_sig")
+
+    def __init__(self, shm, capacity, rows, columns, arrays, index_sig):
+        self.shm = shm
+        self.capacity = capacity
+        self.rows = rows
+        self.columns = columns
+        self.arrays = arrays
+        self.index_sig = index_sig
+
+
+class SharedSnapshot:
+    """Parent-side manager of one database's shared-memory export."""
+
+    def __init__(self, database: Database):
+        self._db = database
+        self._segs: dict[int, _Seg] = {}
+        self._interner_sent = 0
+        self._specs = [
+            self._export(tid, table)
+            for tid, table in enumerate(database._tables)
+        ]
+        self._interner_sent = column_interner_size()
+
+    @staticmethod
+    def _pre_intern(table: Table) -> None:
+        # Workers adopt the parent's interner; assigning every schema
+        # column (and the key pseudo-column) *before* snapshotting the
+        # interner keeps first-use order deterministic in both processes.
+        intern_column(KEY_COLUMN)
+        for c in table.schema.columns:
+            intern_column(c.name)
+
+    def _export(self, tid: int, table: Table) -> dict[str, Any]:
+        self._pre_intern(table)
+        old = self._segs.get(tid)
+        cols = list(table._columns)
+        cap = table._capacity
+        shm = _new_segment((1 + len(cols)) * cap * 8)
+        base = np.frombuffer(shm.buf, dtype=np.int64)
+        keys_view = base[:cap]
+        np.copyto(keys_view, table._keys)
+        table._keys = keys_view
+        arrays = {KEY_COLUMN: keys_view}
+        for i, cname in enumerate(cols):
+            view = base[(i + 1) * cap:(i + 2) * cap]
+            np.copyto(view, table._columns[cname])
+            table._columns[cname] = view
+            arrays[cname] = view
+        self._segs[tid] = _Seg(
+            shm, cap, table._num_rows, tuple(cols), arrays, _index_sig(table)
+        )
+        if old is not None:
+            old.arrays = None
+            _release(old.shm, unlink=True)
+        return {
+            "tid": tid,
+            "shm": shm.name,
+            "capacity": cap,
+            "num_rows": table._num_rows,
+            "schema": table.schema,
+            "dense_limit": table._dense_limit,
+            "columns": tuple(cols),
+            "primary": table.primary,
+            "secondary": table.secondary,
+            "ordered": table.ordered,
+        }
+
+    def full_specs(self) -> list[dict[str, Any]]:
+        """The init payload: one spec per table, in table-id order."""
+        return self._specs
+
+    def collect_deltas(self) -> list[tuple]:
+        """What changed since the last epoch, for every worker."""
+        deltas: list[tuple] = []
+        for table in self._db._tables:
+            self._pre_intern(table)
+        names = interned_columns()
+        if len(names) > self._interner_sent:
+            deltas.append(("intern", names[self._interner_sent:]))
+            self._interner_sent = len(names)
+        for tid, table in enumerate(self._db._tables):
+            seg = self._segs.get(tid)
+            if (
+                seg is None
+                or table._capacity != seg.capacity
+                or table._keys is not seg.arrays[KEY_COLUMN]
+                or _index_sig(table) != seg.index_sig
+            ):
+                deltas.append(("export", self._export(tid, table)))
+            elif table._num_rows != seg.rows:
+                deltas.append(("append", tid, table._num_rows))
+                seg.rows = table._num_rows
+        return deltas
+
+    def close(self) -> None:
+        """Detach the parent from every segment (tables get private
+        array copies again) and unlink the segments."""
+        for tid, seg in list(self._segs.items()):
+            if seg.arrays is not None and tid < len(self._db._tables):
+                table = self._db._tables[tid]
+                if table._keys is seg.arrays.get(KEY_COLUMN):
+                    table._keys = np.array(table._keys)
+                for cname in seg.columns:
+                    if table._columns.get(cname) is seg.arrays.get(cname):
+                        table._columns[cname] = np.array(table._columns[cname])
+            seg.arrays = None
+            _release(seg.shm, unlink=True)
+        self._segs.clear()
+
+
+# -- worker side -------------------------------------------------------------
+
+def attach_table(
+    db: Database,
+    segs: dict[int, shared_memory.SharedMemory],
+    spec: dict[str, Any],
+) -> None:
+    """Build (or re-bind) one worker-side table over a shared segment.
+
+    The views are marked read-only: the execute phase never mutates the
+    snapshot, and a stray write from a worker would corrupt the parent.
+    """
+    tid = spec["tid"]
+    if tid == len(db._tables):
+        table = db.create_table(spec["schema"], capacity=1)
+    elif tid < len(db._tables):
+        table = db._tables[tid]
+    else:
+        raise ValueError(f"table export out of order: tid {tid}")
+    shm = shared_memory.SharedMemory(name=spec["shm"])
+    cap = spec["capacity"]
+    base = np.frombuffer(shm.buf, dtype=np.int64)
+    base.flags.writeable = False
+    table._keys = base[:cap]
+    table._columns = {
+        cname: base[(i + 1) * cap:(i + 2) * cap]
+        for i, cname in enumerate(spec["columns"])
+    }
+    table._capacity = cap
+    table._num_rows = spec["num_rows"]
+    table._dense_limit = spec["dense_limit"]
+    table.primary = spec["primary"]
+    table.secondary = spec["secondary"]
+    table.ordered = spec["ordered"]
+    old = segs.pop(tid, None)
+    if old is not None:
+        _release(old, unlink=False)
+    segs[tid] = shm
+
+
+def replay_append(db: Database, tid: int, num_rows: int) -> None:
+    """Catch a worker table up with rows the parent appended: the data
+    is already visible through shared memory, so only the index
+    maintenance replays (identical order to the parent's
+    ``append_keys`` + ``index_appended``)."""
+    table = db._tables[tid]
+    old_n = table._num_rows
+    if num_rows == old_n:
+        return
+    rows = np.arange(old_n, num_rows, dtype=np.int64)
+    keys = table._keys[old_n:num_rows]
+    table._num_rows = num_rows
+    table.primary.bulk_insert(keys.tolist(), rows.tolist())
+    table.index_appended(rows)
+
+
+def detach_all(segs: dict[int, shared_memory.SharedMemory]) -> None:
+    for shm in segs.values():
+        _release(shm, unlink=False)
+    segs.clear()

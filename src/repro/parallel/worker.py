@@ -1,0 +1,116 @@
+"""Worker-process side of the parallel executor.
+
+Each worker owns a replica :class:`~repro.storage.database.Database`
+whose column arrays are read-only views over the parent's shared-memory
+segments (see :mod:`repro.parallel.shm`) and runs the parent's pickled
+``BatchProcedure`` twins over contiguous lane shards.  Everything a
+shard produces — the finalized op matrix, per-lane counts,
+:class:`~repro.txn.batch_context.GroupLocals`, range predicates and the
+fallback/abort masks — goes back over the pipe for the parent to merge.
+
+Workers are pure functions of (snapshot epoch, shard params): they never
+mutate the snapshot, hold no cross-batch state beyond the replica
+indexes, and every index mutation replays the parent's exact sequence,
+so a shard's output is byte-identical to the same lanes executing
+in-process.
+"""
+
+from __future__ import annotations
+
+import pickle
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.core.delayed_update import DelayedUpdater
+from repro.parallel import shm as shm_mod
+from repro.storage.database import Database
+from repro.txn.batch_context import BatchedContext
+from repro.txn.operations import intern_column, seed_column_interner
+
+
+def _forwardable(exc: BaseException) -> BaseException:
+    """Exceptions travel the pipe pickled; fall back to a ``RuntimeError``
+    carrying the repr when the original type cannot be pickled."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"worker exception (unpicklable): {exc!r}")
+
+
+class _WorkerState:
+    def __init__(self, init: dict[str, Any]):
+        shm_mod.disable_shm_tracking()
+        seed_column_interner(init["columns"])
+        self.db = Database(init["db_name"])
+        self.segs: dict[int, Any] = {}
+        for spec in init["tables"]:
+            shm_mod.attach_table(self.db, self.segs, spec)
+        self.twins = init["twins"]
+        pairs = frozenset(init["delayed_columns"])
+        delayed = DelayedUpdater(self.db, pairs, enabled=bool(pairs))
+        self.delayed_fn = delayed.delayed_mask if delayed.columns else None
+
+    def apply_deltas(self, deltas: list[tuple]) -> None:
+        for delta in deltas:
+            kind = delta[0]
+            if kind == "intern":
+                for name in delta[1]:
+                    intern_column(name)
+            elif kind == "export":
+                shm_mod.attach_table(self.db, self.segs, delta[1])
+            elif kind == "append":
+                shm_mod.replay_append(self.db, delta[1], delta[2])
+            else:
+                raise ValueError(f"unknown snapshot delta {kind!r}")
+
+    def run_shard(self, name: str, params: list[tuple]) -> tuple:
+        bctx = BatchedContext(self.db, params, delayed_mask_fn=self.delayed_fn)
+        self.twins[name](bctx, bctx.params)
+        mat, counts, locals_, ranges_by_lane = bctx.finalize()
+        return (mat, counts, locals_, ranges_by_lane, bctx.fallback, bctx.aborted)
+
+    def close(self) -> None:
+        # Break the table -> shared-view references before detaching so
+        # the mappings can actually release.
+        for table in self.db._tables:
+            table._keys = table._keys[:0].copy()
+            table._columns = {n: a[:0].copy() for n, a in table._columns.items()}
+        shm_mod.detach_all(self.segs)
+
+
+def worker_main(conn: Connection) -> None:
+    """Entry point of one worker process: one init message, then
+    ``(deltas, tasks)`` requests until ``None`` (or EOF) shuts it down."""
+    state = None
+    try:
+        init = conn.recv()
+        state = _WorkerState(init)
+        conn.send(("ready", None))
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            if msg is None:
+                break
+            try:
+                deltas, tasks = msg
+                state.apply_deltas(deltas)
+                out = [
+                    (gi, state.run_shard(name, params))
+                    for gi, name, params in tasks
+                ]
+            except BaseException as exc:  # noqa: B036 - forwarded to parent
+                conn.send(("err", _forwardable(exc)))
+                continue
+            conn.send(("ok", out))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        if state is not None:
+            state.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -100,6 +100,11 @@ class ProcedureRegistry:
     def has_batched(self, name: str) -> bool:
         return name in self._batched
 
+    def batched_names(self) -> list[str]:
+        """Names with a registered vectorized twin (sorted; the worker
+        pool ships exactly these to child processes)."""
+        return sorted(self._batched)
+
     def __contains__(self, name: str) -> bool:
         return name in self._procs
 

@@ -86,86 +86,97 @@ def _register_procedures(registry: ProcedureRegistry) -> None:
     _register_batched(registry)
 
 
+# The twins are module-level functions (not closures) so the
+# process-parallel executor can pickle them to worker processes under
+# the "spawn" start method.
+
+
+def _balance_b(bctx, params):
+    lanes = bctx.all_lanes()
+    rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
+    ok, r = lanes[found], rows[found]
+    bctx.read_rows("smallbank", ok, r, "checking")
+    bctx.read_rows("smallbank", ok, r, "savings")
+
+
+def _deposit_checking_b(bctx, params):
+    lanes = bctx.all_lanes()
+    rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
+    bctx.add(
+        "smallbank", lanes[found], rows[found], "checking",
+        params.column(1)[found],
+    )
+
+
+def _transact_savings_b(bctx, params):
+    lanes = bctx.all_lanes()
+    rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
+    ok, r = lanes[found], rows[found]
+    savings = bctx.read_rows("smallbank", ok, r, "savings")
+    value = params.column(1)[found]
+    bad = savings + value < 0
+    bctx.logic_abort(ok[bad])
+    g = ~bad
+    bctx.write("smallbank", ok[g], r[g], "savings", (savings + value)[g])
+
+
+def _amalgamate_b(bctx, params):
+    lanes = bctx.all_lanes()
+    rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
+    ok, r = lanes[found], rows[found]
+    checking = bctx.read_rows("smallbank", ok, r, "checking")
+    savings = bctx.read_rows("smallbank", ok, r, "savings")
+    bctx.write("smallbank", ok, r, "checking", 0)
+    bctx.write("smallbank", ok, r, "savings", 0)
+    # the destination key resolves only at the ADD, after the
+    # source writes — exactly like the scalar emission order
+    rows1, found1 = bctx.rows_for_keys(
+        "smallbank", ok, params.column(1)[found]
+    )
+    bctx.add(
+        "smallbank", ok[found1], rows1[found1], "checking",
+        (checking + savings)[found1],
+    )
+
+
+def _write_check_b(bctx, params):
+    lanes = bctx.all_lanes()
+    rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
+    ok, r = lanes[found], rows[found]
+    checking = bctx.read_rows("smallbank", ok, r, "checking")
+    savings = bctx.read_rows("smallbank", ok, r, "savings")
+    value = params.column(1)[found]
+    penalty = (value > checking + savings).astype(np.int64)
+    bctx.write("smallbank", ok, r, "checking", checking - value - penalty)
+
+
+def _send_payment_b(bctx, params):
+    lanes = bctx.all_lanes()
+    rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
+    ok, r = lanes[found], rows[found]
+    checking = bctx.read_rows("smallbank", ok, r, "checking")
+    value = params.column(2)[found]
+    bad = checking < value
+    bctx.logic_abort(ok[bad])
+    g = ~bad
+    ok, r, value = ok[g], r[g], value[g]
+    bctx.write("smallbank", ok, r, "checking", (checking[g] - value))
+    rows1, found1 = bctx.rows_for_keys(
+        "smallbank", ok, params.column(1)[ok]
+    )
+    bctx.add("smallbank", ok[found1], rows1[found1], "checking", value[found1])
+
+
 def _register_batched(registry: ProcedureRegistry) -> None:
     """Vectorized twins.  Every SmallBank procedure reads a location
     before it writes it, so no lane ever needs a read-your-own-writes
     overlay and none falls back to the scalar path."""
-
-    @registry.register_batched("balance")
-    def balance_b(bctx, params):
-        lanes = bctx.all_lanes()
-        rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
-        ok, r = lanes[found], rows[found]
-        bctx.read_rows("smallbank", ok, r, "checking")
-        bctx.read_rows("smallbank", ok, r, "savings")
-
-    @registry.register_batched("deposit_checking")
-    def deposit_checking_b(bctx, params):
-        lanes = bctx.all_lanes()
-        rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
-        bctx.add(
-            "smallbank", lanes[found], rows[found], "checking",
-            params.column(1)[found],
-        )
-
-    @registry.register_batched("transact_savings")
-    def transact_savings_b(bctx, params):
-        lanes = bctx.all_lanes()
-        rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
-        ok, r = lanes[found], rows[found]
-        savings = bctx.read_rows("smallbank", ok, r, "savings")
-        value = params.column(1)[found]
-        bad = savings + value < 0
-        bctx.logic_abort(ok[bad])
-        g = ~bad
-        bctx.write("smallbank", ok[g], r[g], "savings", (savings + value)[g])
-
-    @registry.register_batched("amalgamate")
-    def amalgamate_b(bctx, params):
-        lanes = bctx.all_lanes()
-        rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
-        ok, r = lanes[found], rows[found]
-        checking = bctx.read_rows("smallbank", ok, r, "checking")
-        savings = bctx.read_rows("smallbank", ok, r, "savings")
-        bctx.write("smallbank", ok, r, "checking", 0)
-        bctx.write("smallbank", ok, r, "savings", 0)
-        # the destination key resolves only at the ADD, after the
-        # source writes — exactly like the scalar emission order
-        rows1, found1 = bctx.rows_for_keys(
-            "smallbank", ok, params.column(1)[found]
-        )
-        bctx.add(
-            "smallbank", ok[found1], rows1[found1], "checking",
-            (checking + savings)[found1],
-        )
-
-    @registry.register_batched("write_check")
-    def write_check_b(bctx, params):
-        lanes = bctx.all_lanes()
-        rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
-        ok, r = lanes[found], rows[found]
-        checking = bctx.read_rows("smallbank", ok, r, "checking")
-        savings = bctx.read_rows("smallbank", ok, r, "savings")
-        value = params.column(1)[found]
-        penalty = (value > checking + savings).astype(np.int64)
-        bctx.write("smallbank", ok, r, "checking", checking - value - penalty)
-
-    @registry.register_batched("send_payment")
-    def send_payment_b(bctx, params):
-        lanes = bctx.all_lanes()
-        rows, found = bctx.rows_for_keys("smallbank", lanes, params.column(0))
-        ok, r = lanes[found], rows[found]
-        checking = bctx.read_rows("smallbank", ok, r, "checking")
-        value = params.column(2)[found]
-        bad = checking < value
-        bctx.logic_abort(ok[bad])
-        g = ~bad
-        ok, r, value = ok[g], r[g], value[g]
-        bctx.write("smallbank", ok, r, "checking", (checking[g] - value))
-        rows1, found1 = bctx.rows_for_keys(
-            "smallbank", ok, params.column(1)[ok]
-        )
-        bctx.add("smallbank", ok[found1], rows1[found1], "checking", value[found1])
+    registry.register_batched("balance", _balance_b)
+    registry.register_batched("deposit_checking", _deposit_checking_b)
+    registry.register_batched("transact_savings", _transact_savings_b)
+    registry.register_batched("amalgamate", _amalgamate_b)
+    registry.register_batched("write_check", _write_check_b)
+    registry.register_batched("send_payment", _send_payment_b)
 
 
 class SmallBankGenerator:

@@ -19,6 +19,8 @@ nearly every lane stays on the vectorized path.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.txn.batch_context import BatchedContext, ParamColumns
@@ -54,220 +56,235 @@ def _dup_in_rows(matrix: np.ndarray, valid: np.ndarray) -> np.ndarray:
     return (srt[:, 1:] == srt[:, :-1]).any(axis=1)
 
 
+# Twins live at module level (bound to their scale via functools.partial
+# at registration) so they stay picklable: the process-parallel executor
+# ships them to worker processes, which under the "spawn" start method
+# requires importable module-level callables, not closures.
+
+
+def _neworder_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
+    lanes = bctx.all_lanes()
+    w = params.column(0)
+    d = params.column(1)
+    c_key = params.column(2)
+    o_id = params.column(3)
+    rollback = params.column(4)
+    n_items = (params.lengths - 5) // 2
+    max_items = int(n_items.max()) if lanes.size else 0
+    if max_items:
+        items = np.stack(
+            [params.column(5 + 2 * j) for j in range(max_items)], axis=1
+        )
+        qtys = np.stack(
+            [params.column(6 + 2 * j) for j in range(max_items)], axis=1
+        )
+        valid = np.arange(max_items) < n_items[:, None]
+        # a repeated item id needs the second stock read to see the
+        # first decrement — scalar territory
+        bctx.fall_back(lanes[_dup_in_rows(items, valid)])
+
+    start = bctx.active_lanes()
+    crows, cf = bctx.rows_for_keys("customer", start, c_key[start])
+    cur0 = start[cf]
+    bctx.read_rows("customer", cur0, crows[cf], "c_discount")
+    d_key = w * DISTRICTS_PER_WAREHOUSE + d
+
+    for j in range(max_items):
+        cur = np.flatnonzero(bctx.active & (n_items > j))
+        if not cur.size:
+            continue
+        irows, if_ = bctx.rows_for_keys("item", cur, items[cur, j])
+        cur = cur[if_]
+        price = bctx.read_rows("item", cur, irows[if_], "i_price")
+        s_key = w[cur] * scale.num_items + items[cur, j]
+        srows, sf = bctx.rows_for_keys("stock", cur, s_key)
+        cur, sr, price = cur[sf], srows[sf], price[sf]
+        qty = qtys[cur, j]
+        s_qty = bctx.read_rows("stock", cur, sr, "s_quantity")
+        base = s_qty - qty
+        new_qty = np.where(base >= 10, base, base + 91)
+        bctx.write("stock", cur, sr, "s_quantity", new_qty)
+        bctx.add("stock", cur, sr, "s_ytd", qty)
+        bctx.add("stock", cur, sr, "s_order_cnt", 1)
+        bctx.insert(
+            "order_line",
+            cur,
+            o_id[cur] * MAX_ORDER_LINES + j,
+            {
+                "ol_o_id": o_id[cur],
+                "ol_i_id": items[cur, j],
+                "ol_quantity": qty,
+                "ol_amount": price * qty,
+            },
+        )
+
+    bctx.logic_abort(np.flatnonzero(bctx.active & (rollback != 0)))
+    rem = bctx.active_lanes()
+    ok = bctx.insert(
+        "orders",
+        rem,
+        o_id[rem],
+        {"o_c_key": c_key[rem], "o_d_key": d_key[rem], "o_ol_cnt": n_items[rem]},
+    )
+    rem = rem[ok]
+    bctx.insert("new_order", rem, o_id[rem], {"no_d_key": d_key[rem]})
+
+
+def _payment_b(bctx: BatchedContext, params: ParamColumns):
+    lanes = bctx.all_lanes()
+    w = params.column(0)
+    d = params.column(1)
+    c_key = params.column(2)
+    amount = params.column(3)
+    h_id = params.column(4)
+    d_key = w * DISTRICTS_PER_WAREHOUSE + d
+
+    wrows, wf = bctx.rows_for_keys("warehouse", lanes, w)
+    l1, wr1 = lanes[wf], wrows[wf]
+    bctx.read_rows("warehouse", l1, wr1, "w_tax")
+    drows, df = bctx.rows_for_keys("district", l1, d_key[l1])
+    l2, dr2, wr2 = l1[df], drows[df], wr1[df]
+    bctx.read_rows("district", l2, dr2, "d_tax")
+    bctx.add("warehouse", l2, wr2, "w_ytd", amount[l2])
+    bctx.add("district", l2, dr2, "d_ytd", amount[l2])
+    crows, cf = bctx.rows_for_keys("customer", l2, c_key[l2])
+    l3, cr3 = l2[cf], crows[cf]
+    balance = bctx.read_rows("customer", l3, cr3, "c_balance")
+    bctx.write("customer", l3, cr3, "c_balance", balance - amount[l3])
+    bctx.add("customer", l3, cr3, "c_ytd_payment", amount[l3])
+    bctx.add("customer", l3, cr3, "c_payment_cnt", 1)
+    bctx.insert(
+        "history",
+        l3,
+        h_id[l3],
+        {"h_c_key": c_key[l3], "h_d_key": d_key[l3], "h_amount": amount[l3]},
+    )
+
+
+def _orderstatus_b(bctx: BatchedContext, params: ParamColumns):
+    lanes = bctx.all_lanes()
+    c_key = params.column(0)
+    crows, cf = bctx.rows_for_keys("customer", lanes, c_key)
+    ok = lanes[cf]
+    bctx.read_rows("customer", ok, crows[cf], "c_balance")
+    # latest order via the secondary index (inherently per row, like
+    # the scalar path; lanes without orders stop here)
+    _, orders_t = bctx.resolve("orders")
+    lookup = orders_t.secondary["o_c_key"].lookup
+    sel, sel_rows = [], []
+    for lane in ok:
+        rows = lookup(int(c_key[lane]))
+        if rows:
+            sel.append(int(lane))
+            sel_rows.append(rows[-1])
+    if not sel:
+        return
+    sl = np.asarray(sel, dtype=np.int64)
+    srow = np.asarray(sel_rows, dtype=np.int64)
+    ol_cnt = bctx.read_rows("orders", sl, srow, "o_ol_cnt")
+    order_id = bctx.key_at_rows("orders", sl, srow)
+    flat_keys = (
+        np.repeat(order_id * MAX_ORDER_LINES, ol_cnt)
+        + _lane_major_offsets(ol_cnt)
+    )
+    keep, flat_rows = bctx.rows_for_flat_keys(
+        "order_line", sl, ol_cnt, flat_keys
+    )
+    bctx.read_var(
+        "order_line", sl[keep], ol_cnt[keep], flat_rows, "ol_amount"
+    )
+
+
+def _stocklevel_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
+    lanes = bctx.all_lanes()
+    w = params.column(0)
+    n_ids = params.lengths - 2
+    max_ids = int(n_ids.max()) if lanes.size else 0
+    if not max_ids:
+        return
+    items = np.stack(
+        [params.column(2 + j) for j in range(max_ids)], axis=1
+    )
+    valid = np.arange(max_ids) < n_ids[:, None]
+    s_keys = (w[:, None] * scale.num_items + items)[valid]
+    keep, flat_rows = bctx.rows_for_flat_keys("stock", lanes, n_ids, s_keys)
+    bctx.read_var("stock", lanes[keep], n_ids[keep], flat_rows, "s_quantity")
+
+
+def _delivery_b(bctx: BatchedContext, params: ParamColumns):
+    lanes = bctx.all_lanes()
+    carrier = params.column(1)
+    n_orders = params.lengths - 2
+    max_orders = int(n_orders.max()) if lanes.size else 0
+    if not max_orders:
+        return
+    orders_mx = np.stack(
+        [params.column(2 + k) for k in range(max_orders)], axis=1
+    )
+    valid = np.arange(max_orders) < n_orders[:, None]
+
+    # pre-resolve every order row against the snapshot index so
+    # intra-lane duplicate *customers* can be detected up front (the
+    # second balance read would need the first credit's overlay)
+    _, orders_t = bctx.resolve("orders")
+    get = orders_t.primary.get
+    orow_mx = np.full_like(orders_mx, -1)
+    flat_idx = np.flatnonzero(valid.reshape(-1))
+    flat_keys = orders_mx.reshape(-1)[flat_idx]
+    flat_rows = np.fromiter(
+        (
+            -1 if (slot := get(int(k))) is None else slot
+            for k in flat_keys
+        ),
+        dtype=np.int64,
+        count=flat_idx.size,
+    )
+    orow_mx.reshape(-1)[flat_idx] = flat_rows
+    found = valid & (orow_mx >= 0)
+    ckey_mx = orders_t.column("o_c_key")[np.where(found, orow_mx, 0)]
+    bctx.fall_back(lanes[_dup_in_rows(ckey_mx, found)])
+
+    for k in range(max_orders):
+        cur = np.flatnonzero(bctx.active & (n_orders > k))
+        if not cur.size:
+            continue
+        orow = orow_mx[cur, k]
+        missing = orow < 0
+        # scalar: KeyNotFound at the carrier write, before emission
+        bctx.logic_abort(cur[missing])
+        cur, orow = cur[~missing], orow[~missing]
+        bctx.write("orders", cur, orow, "o_carrier_id", carrier[cur])
+        ol_cnt = bctx.read_rows("orders", cur, orow, "o_ol_cnt")
+        flat_keys = (
+            np.repeat(orders_mx[cur, k] * MAX_ORDER_LINES, ol_cnt)
+            + _lane_major_offsets(ol_cnt)
+        )
+        keep, flat_rows = bctx.rows_for_flat_keys(
+            "order_line", cur, ol_cnt, flat_keys
+        )
+        cur, orow, ol_cnt = cur[keep], orow[keep], ol_cnt[keep]
+        amounts = bctx.read_var(
+            "order_line", cur, ol_cnt, flat_rows, "ol_amount"
+        )
+        totals = _segment_sums(ol_cnt, amounts)
+        c_key = bctx.read_rows("orders", cur, orow, "o_c_key")
+        crows, cf = bctx.rows_for_keys("customer", cur, c_key)
+        cur2, cr2 = cur[cf], crows[cf]
+        balance = bctx.read_rows("customer", cur2, cr2, "c_balance")
+        bctx.write("customer", cur2, cr2, "c_balance", balance + totals[cf])
+        bctx.add("customer", cur2, cr2, "c_delivery_cnt", 1)
+
+
 def register_batched_procedures(
     registry: ProcedureRegistry, scale: TpccScale
 ) -> None:
     """Register the vectorized twins bound to ``scale``."""
-
-    @registry.register_batched("neworder")
-    def neworder_b(bctx: BatchedContext, params: ParamColumns):
-        lanes = bctx.all_lanes()
-        w = params.column(0)
-        d = params.column(1)
-        c_key = params.column(2)
-        o_id = params.column(3)
-        rollback = params.column(4)
-        n_items = (params.lengths - 5) // 2
-        max_items = int(n_items.max()) if lanes.size else 0
-        if max_items:
-            items = np.stack(
-                [params.column(5 + 2 * j) for j in range(max_items)], axis=1
-            )
-            qtys = np.stack(
-                [params.column(6 + 2 * j) for j in range(max_items)], axis=1
-            )
-            valid = np.arange(max_items) < n_items[:, None]
-            # a repeated item id needs the second stock read to see the
-            # first decrement — scalar territory
-            bctx.fall_back(lanes[_dup_in_rows(items, valid)])
-
-        start = bctx.active_lanes()
-        crows, cf = bctx.rows_for_keys("customer", start, c_key[start])
-        cur0 = start[cf]
-        bctx.read_rows("customer", cur0, crows[cf], "c_discount")
-        d_key = w * DISTRICTS_PER_WAREHOUSE + d
-
-        for j in range(max_items):
-            cur = np.flatnonzero(bctx.active & (n_items > j))
-            if not cur.size:
-                continue
-            irows, if_ = bctx.rows_for_keys("item", cur, items[cur, j])
-            cur = cur[if_]
-            price = bctx.read_rows("item", cur, irows[if_], "i_price")
-            s_key = w[cur] * scale.num_items + items[cur, j]
-            srows, sf = bctx.rows_for_keys("stock", cur, s_key)
-            cur, sr, price = cur[sf], srows[sf], price[sf]
-            qty = qtys[cur, j]
-            s_qty = bctx.read_rows("stock", cur, sr, "s_quantity")
-            base = s_qty - qty
-            new_qty = np.where(base >= 10, base, base + 91)
-            bctx.write("stock", cur, sr, "s_quantity", new_qty)
-            bctx.add("stock", cur, sr, "s_ytd", qty)
-            bctx.add("stock", cur, sr, "s_order_cnt", 1)
-            bctx.insert(
-                "order_line",
-                cur,
-                o_id[cur] * MAX_ORDER_LINES + j,
-                {
-                    "ol_o_id": o_id[cur],
-                    "ol_i_id": items[cur, j],
-                    "ol_quantity": qty,
-                    "ol_amount": price * qty,
-                },
-            )
-
-        bctx.logic_abort(np.flatnonzero(bctx.active & (rollback != 0)))
-        rem = bctx.active_lanes()
-        ok = bctx.insert(
-            "orders",
-            rem,
-            o_id[rem],
-            {"o_c_key": c_key[rem], "o_d_key": d_key[rem], "o_ol_cnt": n_items[rem]},
-        )
-        rem = rem[ok]
-        bctx.insert("new_order", rem, o_id[rem], {"no_d_key": d_key[rem]})
-
-    @registry.register_batched("payment")
-    def payment_b(bctx: BatchedContext, params: ParamColumns):
-        lanes = bctx.all_lanes()
-        w = params.column(0)
-        d = params.column(1)
-        c_key = params.column(2)
-        amount = params.column(3)
-        h_id = params.column(4)
-        d_key = w * DISTRICTS_PER_WAREHOUSE + d
-
-        wrows, wf = bctx.rows_for_keys("warehouse", lanes, w)
-        l1, wr1 = lanes[wf], wrows[wf]
-        bctx.read_rows("warehouse", l1, wr1, "w_tax")
-        drows, df = bctx.rows_for_keys("district", l1, d_key[l1])
-        l2, dr2, wr2 = l1[df], drows[df], wr1[df]
-        bctx.read_rows("district", l2, dr2, "d_tax")
-        bctx.add("warehouse", l2, wr2, "w_ytd", amount[l2])
-        bctx.add("district", l2, dr2, "d_ytd", amount[l2])
-        crows, cf = bctx.rows_for_keys("customer", l2, c_key[l2])
-        l3, cr3 = l2[cf], crows[cf]
-        balance = bctx.read_rows("customer", l3, cr3, "c_balance")
-        bctx.write("customer", l3, cr3, "c_balance", balance - amount[l3])
-        bctx.add("customer", l3, cr3, "c_ytd_payment", amount[l3])
-        bctx.add("customer", l3, cr3, "c_payment_cnt", 1)
-        bctx.insert(
-            "history",
-            l3,
-            h_id[l3],
-            {"h_c_key": c_key[l3], "h_d_key": d_key[l3], "h_amount": amount[l3]},
-        )
-
-    @registry.register_batched("orderstatus")
-    def orderstatus_b(bctx: BatchedContext, params: ParamColumns):
-        lanes = bctx.all_lanes()
-        c_key = params.column(0)
-        crows, cf = bctx.rows_for_keys("customer", lanes, c_key)
-        ok = lanes[cf]
-        bctx.read_rows("customer", ok, crows[cf], "c_balance")
-        # latest order via the secondary index (inherently per row, like
-        # the scalar path; lanes without orders stop here)
-        _, orders_t = bctx.resolve("orders")
-        lookup = orders_t.secondary["o_c_key"].lookup
-        sel, sel_rows = [], []
-        for lane in ok:
-            rows = lookup(int(c_key[lane]))
-            if rows:
-                sel.append(int(lane))
-                sel_rows.append(rows[-1])
-        if not sel:
-            return
-        sl = np.asarray(sel, dtype=np.int64)
-        srow = np.asarray(sel_rows, dtype=np.int64)
-        ol_cnt = bctx.read_rows("orders", sl, srow, "o_ol_cnt")
-        order_id = bctx.key_at_rows("orders", sl, srow)
-        flat_keys = (
-            np.repeat(order_id * MAX_ORDER_LINES, ol_cnt)
-            + _lane_major_offsets(ol_cnt)
-        )
-        keep, flat_rows = bctx.rows_for_flat_keys(
-            "order_line", sl, ol_cnt, flat_keys
-        )
-        bctx.read_var(
-            "order_line", sl[keep], ol_cnt[keep], flat_rows, "ol_amount"
-        )
-
-    @registry.register_batched("stocklevel")
-    def stocklevel_b(bctx: BatchedContext, params: ParamColumns):
-        lanes = bctx.all_lanes()
-        w = params.column(0)
-        n_ids = params.lengths - 2
-        max_ids = int(n_ids.max()) if lanes.size else 0
-        if not max_ids:
-            return
-        items = np.stack(
-            [params.column(2 + j) for j in range(max_ids)], axis=1
-        )
-        valid = np.arange(max_ids) < n_ids[:, None]
-        s_keys = (w[:, None] * scale.num_items + items)[valid]
-        keep, flat_rows = bctx.rows_for_flat_keys("stock", lanes, n_ids, s_keys)
-        bctx.read_var("stock", lanes[keep], n_ids[keep], flat_rows, "s_quantity")
-
-    @registry.register_batched("delivery")
-    def delivery_b(bctx: BatchedContext, params: ParamColumns):
-        lanes = bctx.all_lanes()
-        carrier = params.column(1)
-        n_orders = params.lengths - 2
-        max_orders = int(n_orders.max()) if lanes.size else 0
-        if not max_orders:
-            return
-        orders_mx = np.stack(
-            [params.column(2 + k) for k in range(max_orders)], axis=1
-        )
-        valid = np.arange(max_orders) < n_orders[:, None]
-
-        # pre-resolve every order row against the snapshot index so
-        # intra-lane duplicate *customers* can be detected up front (the
-        # second balance read would need the first credit's overlay)
-        _, orders_t = bctx.resolve("orders")
-        get = orders_t.primary.get
-        orow_mx = np.full_like(orders_mx, -1)
-        flat_idx = np.flatnonzero(valid.reshape(-1))
-        flat_keys = orders_mx.reshape(-1)[flat_idx]
-        flat_rows = np.fromiter(
-            (
-                -1 if (slot := get(int(k))) is None else slot
-                for k in flat_keys
-            ),
-            dtype=np.int64,
-            count=flat_idx.size,
-        )
-        orow_mx.reshape(-1)[flat_idx] = flat_rows
-        found = valid & (orow_mx >= 0)
-        ckey_mx = orders_t.column("o_c_key")[np.where(found, orow_mx, 0)]
-        bctx.fall_back(lanes[_dup_in_rows(ckey_mx, found)])
-
-        for k in range(max_orders):
-            cur = np.flatnonzero(bctx.active & (n_orders > k))
-            if not cur.size:
-                continue
-            orow = orow_mx[cur, k]
-            missing = orow < 0
-            # scalar: KeyNotFound at the carrier write, before emission
-            bctx.logic_abort(cur[missing])
-            cur, orow = cur[~missing], orow[~missing]
-            bctx.write("orders", cur, orow, "o_carrier_id", carrier[cur])
-            ol_cnt = bctx.read_rows("orders", cur, orow, "o_ol_cnt")
-            flat_keys = (
-                np.repeat(orders_mx[cur, k] * MAX_ORDER_LINES, ol_cnt)
-                + _lane_major_offsets(ol_cnt)
-            )
-            keep, flat_rows = bctx.rows_for_flat_keys(
-                "order_line", cur, ol_cnt, flat_keys
-            )
-            cur, orow, ol_cnt = cur[keep], orow[keep], ol_cnt[keep]
-            amounts = bctx.read_var(
-                "order_line", cur, ol_cnt, flat_rows, "ol_amount"
-            )
-            totals = _segment_sums(ol_cnt, amounts)
-            c_key = bctx.read_rows("orders", cur, orow, "o_c_key")
-            crows, cf = bctx.rows_for_keys("customer", cur, c_key)
-            cur2, cr2 = cur[cf], crows[cf]
-            balance = bctx.read_rows("customer", cur2, cr2, "c_balance")
-            bctx.write("customer", cur2, cr2, "c_balance", balance + totals[cf])
-            bctx.add("customer", cur2, cr2, "c_delivery_cnt", 1)
+    registry.register_batched(
+        "neworder", functools.partial(_neworder_b, scale)
+    )
+    registry.register_batched("payment", _payment_b)
+    registry.register_batched("orderstatus", _orderstatus_b)
+    registry.register_batched(
+        "stocklevel", functools.partial(_stocklevel_b, scale)
+    )
+    registry.register_batched("delivery", _delivery_b)

@@ -19,6 +19,7 @@ Adaptations mirroring the paper's GPU setting (see EXPERIMENTS.md):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
@@ -104,91 +105,98 @@ def _register_procedures(
                 for offset in range(SCAN_LENGTH):
                     ctx.read("usertable", key + offset, "f1")
 
-    @registry.register_batched("ycsb_txn")
-    def ycsb_txn_b(bctx, params):
-        """Vectorized twin: one emission pass per op position.
+    registry.register_batched(
+        "ycsb_txn", functools.partial(_ycsb_txn_b, btree_scans)
+    )
 
-        Lanes whose op sequence needs a read-your-own-writes overlay —
-        a later op reading a key this lane already wrote (code 4) or
-        inserted — fall back to the scalar procedure; generated
-        workloads make those collisions rare (fresh insert keys, f0/f1
-        field separation keeps commutative updates out of the way).
-        """
-        n_ops = params.lengths // 2
-        max_ops = int(n_ops.max()) if bctx.n else 0
-        if max_ops == 0:
-            return
-        codes = np.stack([params.column(2 * j) for j in range(max_ops)], axis=1)
-        keys = np.stack([params.column(2 * j + 1) for j in range(max_ops)], axis=1)
-        valid = np.arange(max_ops) < n_ops[:, None]
 
-        hazard = np.zeros(bctx.n, dtype=bool)
-        for j in range(max_ops):
-            vj = valid[:, j]
-            kj = keys[:, j]
-            wj = vj & (codes[:, j] == 4)  # wrote f1 at kj
-            ij = vj & (codes[:, j] == 2)  # inserted kj
-            if not (wj.any() or ij.any()):
+def _ycsb_txn_b(btree_scans, bctx, params):
+    """Vectorized twin: one emission pass per op position.
+
+    Module-level (bound via ``functools.partial``) so the parallel
+    executor can pickle it to spawn-started workers.
+
+    Lanes whose op sequence needs a read-your-own-writes overlay —
+    a later op reading a key this lane already wrote (code 4) or
+    inserted — fall back to the scalar procedure; generated
+    workloads make those collisions rare (fresh insert keys, f0/f1
+    field separation keeps commutative updates out of the way).
+    """
+    n_ops = params.lengths // 2
+    max_ops = int(n_ops.max()) if bctx.n else 0
+    if max_ops == 0:
+        return
+    codes = np.stack([params.column(2 * j) for j in range(max_ops)], axis=1)
+    keys = np.stack([params.column(2 * j + 1) for j in range(max_ops)], axis=1)
+    valid = np.arange(max_ops) < n_ops[:, None]
+
+    hazard = np.zeros(bctx.n, dtype=bool)
+    for j in range(max_ops):
+        vj = valid[:, j]
+        kj = keys[:, j]
+        wj = vj & (codes[:, j] == 4)  # wrote f1 at kj
+        ij = vj & (codes[:, j] == 2)  # inserted kj
+        if not (wj.any() or ij.any()):
+            continue
+        for j2 in range(max_ops):
+            if j2 == j:
                 continue
-            for j2 in range(max_ops):
-                if j2 == j:
-                    continue
-                v2 = valid[:, j2]
-                c2 = codes[:, j2]
-                k2 = keys[:, j2]
-                eq = v2 & (k2 == kj)
-                cover = (
-                    v2 & (c2 == 3) & (k2 <= kj) & (kj <= k2 + SCAN_LENGTH - 1)
-                )
-                reads_f1 = (eq & ((c2 == 0) | (c2 == 4))) | cover
-                if j2 > j:
-                    hazard |= wj & reads_f1
-                # any op touching a key this lane inserts (either
-                # direction: earlier reads miss the snapshot, later
-                # ones would need the buffered row)
-                hazard |= ij & (reads_f1 | (eq & ((c2 == 1) | (c2 == 2))))
-        bctx.fall_back(np.flatnonzero(hazard))
+            v2 = valid[:, j2]
+            c2 = codes[:, j2]
+            k2 = keys[:, j2]
+            eq = v2 & (k2 == kj)
+            cover = (
+                v2 & (c2 == 3) & (k2 <= kj) & (kj <= k2 + SCAN_LENGTH - 1)
+            )
+            reads_f1 = (eq & ((c2 == 0) | (c2 == 4))) | cover
+            if j2 > j:
+                hazard |= wj & reads_f1
+            # any op touching a key this lane inserts (either
+            # direction: earlier reads miss the snapshot, later
+            # ones would need the buffered row)
+            hazard |= ij & (reads_f1 | (eq & ((c2 == 1) | (c2 == 2))))
+    bctx.fall_back(np.flatnonzero(hazard))
 
-        dense_limit = bctx.dense_limit("usertable")
-        for j in range(max_ops):
-            act = bctx.active & valid[:, j]
-            cj = codes[:, j]
-            kj = keys[:, j]
-            lanes0 = np.flatnonzero(act & (cj == 0))
-            if lanes0.size:
-                rows, found = bctx.rows_for_keys("usertable", lanes0, kj[lanes0])
-                bctx.read_rows("usertable", lanes0[found], rows[found], "f1")
-            lanes1 = np.flatnonzero(act & (cj == 1))
-            if lanes1.size:
-                rows, found = bctx.rows_for_keys("usertable", lanes1, kj[lanes1])
-                bctx.add("usertable", lanes1[found], rows[found], "f0", 1)
-            lanes2 = np.flatnonzero(act & (cj == 2))
-            if lanes2.size:
-                k = kj[lanes2]
-                bctx.insert("usertable", lanes2, k, {"f0": 0, "f1": k})
-            lanes4 = np.flatnonzero(act & (cj == 4))
-            if lanes4.size:
-                rows, found = bctx.rows_for_keys("usertable", lanes4, kj[lanes4])
-                ok, r = lanes4[found], rows[found]
-                value = bctx.read_rows("usertable", ok, r, "f1")
-                bctx.write("usertable", ok, r, "f1", value + 1)
-            lanes3 = np.flatnonzero(act & (cj == 3))
-            if lanes3.size:
-                lo = kj[lanes3]
-                # the fast path needs every key of the range to resolve
-                # densely (generated scans always do: starts are clamped
-                # below the initial table size, inserts go above it)
-                in_dense = (lo >= 0) & (lo + SCAN_LENGTH - 1 < dense_limit)
-                bctx.fall_back(lanes3[~in_dense])
-                sl = lanes3[in_dense]
-                if sl.size:
-                    lo = lo[in_dense]
-                    if btree_scans:
-                        bctx.range_predicate(
-                            "usertable", sl, lo, lo + SCAN_LENGTH - 1
-                        )
-                    rows = lo[:, None] + np.arange(SCAN_LENGTH, dtype=np.int64)
-                    bctx.read_block("usertable", sl, rows, "f1")
+    dense_limit = bctx.dense_limit("usertable")
+    for j in range(max_ops):
+        act = bctx.active & valid[:, j]
+        cj = codes[:, j]
+        kj = keys[:, j]
+        lanes0 = np.flatnonzero(act & (cj == 0))
+        if lanes0.size:
+            rows, found = bctx.rows_for_keys("usertable", lanes0, kj[lanes0])
+            bctx.read_rows("usertable", lanes0[found], rows[found], "f1")
+        lanes1 = np.flatnonzero(act & (cj == 1))
+        if lanes1.size:
+            rows, found = bctx.rows_for_keys("usertable", lanes1, kj[lanes1])
+            bctx.add("usertable", lanes1[found], rows[found], "f0", 1)
+        lanes2 = np.flatnonzero(act & (cj == 2))
+        if lanes2.size:
+            k = kj[lanes2]
+            bctx.insert("usertable", lanes2, k, {"f0": 0, "f1": k})
+        lanes4 = np.flatnonzero(act & (cj == 4))
+        if lanes4.size:
+            rows, found = bctx.rows_for_keys("usertable", lanes4, kj[lanes4])
+            ok, r = lanes4[found], rows[found]
+            value = bctx.read_rows("usertable", ok, r, "f1")
+            bctx.write("usertable", ok, r, "f1", value + 1)
+        lanes3 = np.flatnonzero(act & (cj == 3))
+        if lanes3.size:
+            lo = kj[lanes3]
+            # the fast path needs every key of the range to resolve
+            # densely (generated scans always do: starts are clamped
+            # below the initial table size, inserts go above it)
+            in_dense = (lo >= 0) & (lo + SCAN_LENGTH - 1 < dense_limit)
+            bctx.fall_back(lanes3[~in_dense])
+            sl = lanes3[in_dense]
+            if sl.size:
+                lo = lo[in_dense]
+                if btree_scans:
+                    bctx.range_predicate(
+                        "usertable", sl, lo, lo + SCAN_LENGTH - 1
+                    )
+                rows = lo[:, None] + np.arange(SCAN_LENGTH, dtype=np.int64)
+                bctx.read_block("usertable", sl, rows, "f1")
 
 
 class YcsbGenerator:

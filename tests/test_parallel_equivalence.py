@@ -1,0 +1,511 @@
+"""Differential tests for the process-parallel executor
+(``LTPGConfig.parallel_workers``).
+
+The sharded execute phase must be *byte-identical* to the in-process
+batched path for any worker count: statuses, abort reasons,
+per-transaction op streams (``txn.ops.raw``), simulated phase times and
+the final database digest.  Each test runs identical batch specs with
+``parallel_workers=0`` and with worker pools of several sizes and
+compares the full observable surface, including shard boundaries that
+don't divide evenly, groups smaller than the pool, procedures without
+twins, and in-twin fallback lanes.
+
+Also covered here: the shared-memory epoch protocol (append replay and
+re-export after ``Table._grow``), configuration validation, pool
+lifecycle/teardown (no leaked processes or ``/dev/shm`` segments), and
+the assembly-prefetch runner's RunStats identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+from helpers import build_bank
+from repro.bench.runner import steady_state_run
+from repro.core import LTPGConfig, LTPGEngine
+from repro.errors import ConfigError, ParallelExecutionError
+from repro.parallel import SHM_PREFIX, shard_sizes
+from repro.txn import Transaction
+from repro.workloads.smallbank import build_smallbank
+from repro.workloads.tpcc import DELAYED_COLUMNS, SPLIT_COLUMNS, TpccMix, build_tpcc
+from repro.workloads.ycsb import build_ycsb
+from repro.workloads.ycsb.generator import ycsb_delayed_columns
+
+pytestmark = pytest.mark.parallel
+
+WORKER_COUNTS = (1, 2, 4)
+
+FULL_MIX = TpccMix(
+    neworder=0.4, payment=0.3, orderstatus=0.1, stocklevel=0.1, delivery=0.1
+)
+
+
+def _observe(engine, batches):
+    """Run ``batches`` (lists of (name, params) specs) and capture every
+    path-sensitive observable; closes the engine (and so its pool)."""
+    out = []
+    with engine:
+        for specs in batches:
+            batch = [Transaction(n, p, tid=i) for i, (n, p) in enumerate(specs)]
+            result = engine.run_batch(batch)
+            out.append(
+                {
+                    "committed": result.stats.committed,
+                    "aborted": result.stats.aborted,
+                    "logic_aborted": result.stats.logic_aborted,
+                    "statuses": [t.status for t in batch],
+                    "reasons": [t.abort_reason for t in batch],
+                    "ops": [t.ops.raw for t in batch],
+                    "phase_ns": dict(result.stats.phase_ns),
+                    "rwset_ns": result.stats.rwset_ns,
+                    "abort_reasons": dict(result.stats.abort_reasons),
+                    "by_proc": dict(result.stats.committed_by_proc),
+                }
+            )
+        out.append(engine.database.state_digest())
+    return out
+
+
+def _shm_segments() -> list[str]:
+    try:
+        return [f for f in os.listdir("/dev/shm") if f.startswith(SHM_PREFIX)]
+    except FileNotFoundError:  # non-Linux: rely on the lifecycle tests
+        return []
+
+
+def _across_worker_counts(build, batches, counts=WORKER_COUNTS, **config_kwargs):
+    """Assert parallel_workers=0 == each worker count, pool torn down."""
+    runs = {}
+    for workers in (0, *counts):
+        engine = build(
+            dict(
+                columnar_ops=True,
+                batched_exec=True,
+                parallel_workers=workers,
+                **config_kwargs,
+            )
+        )
+        runs[workers] = _observe(engine, batches)
+    for workers in counts:
+        assert runs[workers] == runs[0], f"divergence at {workers} workers"
+    assert _shm_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# The three workloads, identical across worker counts
+# ---------------------------------------------------------------------------
+def test_tpcc_identical_across_worker_counts():
+    _, _, gen = build_tpcc(warehouses=2, num_items=2000, mix=FULL_MIX, seed=7)
+    batches = [
+        [(t.procedure_name, t.params) for t in gen.make_batch(256)]
+        for _ in range(3)
+    ]
+
+    def build(mode_kwargs):
+        db, registry, _ = build_tpcc(
+            warehouses=2, num_items=2000, mix=FULL_MIX, seed=7
+        )
+        config = LTPGConfig(
+            batch_size=256,
+            delayed_update=True,
+            delayed_columns=DELAYED_COLUMNS,
+            split_flags=True,
+            split_columns=SPLIT_COLUMNS,
+            **mode_kwargs,
+        )
+        return LTPGEngine(db, registry, config)
+
+    _across_worker_counts(build, batches)
+
+
+def test_ycsb_identical_across_worker_counts():
+    kwargs = dict(num_records=2000, workload="a", zipf_alpha=1.2, seed=5)
+    _, _, gen = build_ycsb(**kwargs)
+    batches = [
+        [(t.procedure_name, t.params) for t in gen.make_batch(256)]
+        for _ in range(3)
+    ]
+
+    def build(mode_kwargs):
+        db, registry, _ = build_ycsb(**kwargs)
+        config = LTPGConfig(
+            batch_size=256,
+            delayed_update=True,
+            delayed_columns=ycsb_delayed_columns(),
+            **mode_kwargs,
+        )
+        return LTPGEngine(db, registry, config)
+
+    _across_worker_counts(build, batches)
+
+
+def test_smallbank_identical_across_worker_counts():
+    _, _, gen = build_smallbank(num_accounts=500, zipf_alpha=1.2, seed=3)
+    batches = [
+        [(t.procedure_name, t.params) for t in gen.make_batch(256)]
+        for _ in range(3)
+    ]
+
+    def build(mode_kwargs):
+        db, registry, _ = build_smallbank(
+            num_accounts=500, zipf_alpha=1.2, seed=3
+        )
+        return LTPGEngine(db, registry, LTPGConfig(batch_size=256, **mode_kwargs))
+
+    _across_worker_counts(build, batches)
+
+
+# ---------------------------------------------------------------------------
+# Odd shard boundaries: groups smaller than the pool, single lanes,
+# scalar-only procedures and in-twin fallback lanes in the same batch
+# ---------------------------------------------------------------------------
+def _deposit_twin(bctx, p):
+    lanes = bctx.active_lanes()
+    keys = p.column(0)[lanes]
+    amounts = p.column(1)[lanes]
+    rows, found = bctx.rows_for_keys("accounts", lanes, keys)
+    bctx.add("accounts", lanes[found], rows[found], "balance", amounts[found])
+
+
+def _transfer_twin_fallback_odd(bctx, p):
+    """Sends odd lanes to the scalar re-run: with sharding, different
+    workers own different subsets of the odd lanes, and every one of
+    them must land back in the parent's fallback path."""
+    lanes = bctx.active_lanes()
+    odd = lanes % 2 == 1
+    bctx.fall_back(lanes[odd])
+    lanes = lanes[~odd]
+    a = p.column(0)[lanes]
+    b = p.column(1)[lanes]
+    amount = p.column(2)[lanes]
+    bal_a, rows_a, found = bctx.read_keys("accounts", lanes, a, "balance")
+    lanes, b, amount = lanes[found], b[found], amount[found]
+    bal_b, rows_b, found_b = bctx.read_keys("accounts", lanes, b, "balance")
+    lanes = lanes[found_b]
+    bctx.write(
+        "accounts", lanes, rows_a[found_b], "balance",
+        bal_a[found_b] - amount[found_b],
+    )
+    bctx.write("accounts", lanes, rows_b, "balance", bal_b + amount[found_b])
+
+
+def _mixed_bank():
+    db, registry = build_bank(accounts=32)
+    registry.register_batched("deposit", _deposit_twin)
+    registry.register_batched("transfer", _transfer_twin_fallback_odd)
+    return db, registry
+
+
+def test_mixed_registry_and_fallback_lanes_identical():
+    specs = []
+    for i in range(48):
+        specs.append(("transfer", (i % 32, (i + 7) % 32, 1 + i % 5)))
+        specs.append(("deposit", (i % 32, 2 + i % 3)))
+        specs.append(("audit", (i % 32, (i + 3) % 32)))
+        if i % 11 == 0:
+            specs.append(("open_account", (100 + i, 9)))
+        if i % 13 == 0:
+            specs.append(("bad", (i % 32,)))
+    batches = [specs, specs[::-1]]
+
+    def build(mode_kwargs):
+        db, registry = _mixed_bank()
+        return LTPGEngine(db, registry, LTPGConfig(batch_size=256, **mode_kwargs))
+
+    _across_worker_counts(build, batches)
+
+
+def test_groups_smaller_than_pool_identical():
+    """More workers than lanes: most shards are empty and must simply
+    not be dispatched — including the degenerate one-transaction group."""
+    batches = [
+        [("deposit", (1, 5)), ("deposit", (2, 7)), ("transfer", (3, 4, 1))],
+        [("deposit", (5, 1))],
+    ]
+
+    def build(mode_kwargs):
+        db, registry = _mixed_bank()
+        return LTPGEngine(db, registry, LTPGConfig(batch_size=8, **mode_kwargs))
+
+    _across_worker_counts(build, batches, counts=(1, 2, 4, 8))
+
+
+def test_shard_sizes_contiguous_and_exact():
+    assert shard_sizes(10, 4) == [3, 3, 2, 2]
+    assert shard_sizes(3, 4) == [1, 1, 1, 0]
+    assert shard_sizes(0, 2) == [0, 0]
+    assert shard_sizes(8, 1) == [8]
+    for lanes in range(0, 17):
+        for workers in range(1, 6):
+            sizes = shard_sizes(lanes, workers)
+            assert sum(sizes) == lanes
+            assert sorted(sizes, reverse=True) == sizes
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory epoch protocol: append replay and re-export on growth
+# ---------------------------------------------------------------------------
+def test_table_growth_reexports_snapshot():
+    """Inserts past the exported capacity force ``Table._grow`` in the
+    parent (detaching it from the segment) — the next batch must ship a
+    fresh export and still be byte-identical."""
+
+    def make_batches(capacity):
+        batches = []
+        key = 1000
+        for _ in range(4):
+            specs = [("deposit", (i % 32, 1 + i % 3)) for i in range(16)]
+            for _ in range(max(capacity // 2, 8)):
+                specs.append(("open_account", (key, 7)))
+                key += 1
+            batches.append(specs)
+        return batches
+
+    def build(mode_kwargs):
+        db, registry = _mixed_bank()
+        return LTPGEngine(db, registry, LTPGConfig(batch_size=512, **mode_kwargs))
+
+    db_probe, _ = _mixed_bank()
+    capacity = db_probe._tables[0]._capacity
+    batches = make_batches(capacity)
+
+    # sanity: this workload really does outgrow the initial capacity
+    db, registry = _mixed_bank()
+    with LTPGEngine(db, registry, LTPGConfig(batch_size=512)) as eng:
+        for specs in batches:
+            eng.run_batch(
+                [Transaction(n, p, tid=i) for i, (n, p) in enumerate(specs)]
+            )
+    assert db._tables[0]._capacity > capacity
+
+    _across_worker_counts(build, batches, counts=(1, 2))
+
+
+# ---------------------------------------------------------------------------
+# Start methods: identical under fork and spawn
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_identical_under_start_method(start_method):
+    if start_method not in mp.get_all_start_methods():
+        pytest.skip(f"{start_method} not available on this platform")
+    _, _, gen = build_smallbank(num_accounts=300, zipf_alpha=1.2, seed=9)
+    batches = [
+        [(t.procedure_name, t.params) for t in gen.make_batch(128)]
+        for _ in range(2)
+    ]
+
+    def build(mode_kwargs):
+        db, registry, _ = build_smallbank(
+            num_accounts=300, zipf_alpha=1.2, seed=9
+        )
+        return LTPGEngine(db, registry, LTPGConfig(batch_size=128, **mode_kwargs))
+
+    _across_worker_counts(
+        build, batches, counts=(2,), parallel_start_method=start_method
+    )
+
+
+# ---------------------------------------------------------------------------
+# Configuration validation
+# ---------------------------------------------------------------------------
+def test_parallel_with_sanitize_raises_config_error():
+    with pytest.raises(ConfigError, match="sanitize"):
+        LTPGConfig(
+            batch_size=64, batched_exec=True, parallel_workers=2, sanitize=True
+        )
+
+
+def test_parallel_without_batched_exec_raises_config_error():
+    with pytest.raises(ConfigError, match="batched_exec"):
+        LTPGConfig(batch_size=64, parallel_workers=2)
+
+
+def test_negative_workers_raises_config_error():
+    with pytest.raises(ConfigError, match="parallel_workers"):
+        LTPGConfig(batch_size=64, batched_exec=True, parallel_workers=-1)
+
+
+def test_bad_start_method_raises_config_error():
+    with pytest.raises(ConfigError, match="start_method"):
+        LTPGConfig(batch_size=64, parallel_start_method="thread")
+
+
+def test_unpicklable_twin_error_names_the_procedure():
+    db, registry = build_bank(accounts=8)
+
+    @registry.register_batched("deposit")
+    def deposit_closure(bctx, p):  # a closure: not picklable by name
+        _deposit_twin(bctx, p)
+
+    engine = LTPGEngine(
+        db, registry,
+        LTPGConfig(batch_size=8, batched_exec=True, parallel_workers=2),
+    )
+    with engine:
+        with pytest.raises(ParallelExecutionError, match="deposit"):
+            engine.run_batch([Transaction("deposit", (1, 5), tid=0)])
+    assert _shm_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle and teardown
+# ---------------------------------------------------------------------------
+def _live_workers() -> list:
+    return [p for p in mp.active_children() if p.name.startswith("ltpg-worker")]
+
+
+def test_engine_close_tears_down_pool_and_segments():
+    db, registry, gen = build_smallbank(num_accounts=200, zipf_alpha=1.0, seed=1)
+    engine = LTPGEngine(
+        db, registry,
+        LTPGConfig(batch_size=64, batched_exec=True, parallel_workers=2),
+    )
+    batch = [
+        Transaction(t.procedure_name, t.params, tid=i)
+        for i, t in enumerate(gen.make_batch(64))
+    ]
+    engine.run_batch(batch)
+    assert len(_live_workers()) == 2
+    assert _shm_segments() != []
+    engine.close()
+    engine.close()  # idempotent
+    deadline = time.monotonic() + 10
+    while _live_workers() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert _live_workers() == []
+    assert _shm_segments() == []
+    # the engine still works after close: the pool is rebuilt lazily
+    batch2 = [
+        Transaction(t.procedure_name, t.params, tid=i)
+        for i, t in enumerate(gen.make_batch(64))
+    ]
+    engine.run_batch(batch2)
+    engine.close()
+    assert _shm_segments() == []
+
+
+def test_engine_context_manager_closes_pool():
+    db, registry, gen = build_smallbank(num_accounts=200, zipf_alpha=1.0, seed=2)
+    with LTPGEngine(
+        db, registry,
+        LTPGConfig(batch_size=64, batched_exec=True, parallel_workers=2),
+    ) as engine:
+        batch = [
+            Transaction(t.procedure_name, t.params, tid=i)
+            for i, t in enumerate(gen.make_batch(64))
+        ]
+        engine.run_batch(batch)
+    deadline = time.monotonic() + 10
+    while _live_workers() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert _live_workers() == []
+    assert _shm_segments() == []
+
+
+def test_parent_arrays_private_again_after_close():
+    """Closing the snapshot must hand the tables private heap copies:
+    the database stays fully usable after the pool is gone."""
+    db, registry, gen = build_smallbank(num_accounts=100, zipf_alpha=1.0, seed=4)
+    config = LTPGConfig(batch_size=32, batched_exec=True, parallel_workers=1)
+    engine = LTPGEngine(db, registry, config)
+    batch = [
+        Transaction(t.procedure_name, t.params, tid=i)
+        for i, t in enumerate(gen.make_batch(32))
+    ]
+    engine.run_batch(batch)
+    digest = db.state_digest()
+    engine.close()
+    assert db.state_digest() == digest
+    # a post-close, in-process batch still runs against the private copies
+    engine2 = LTPGEngine(db, registry, dataclasses.replace(config, parallel_workers=0))
+    batch2 = [
+        Transaction(t.procedure_name, t.params, tid=i)
+        for i, t in enumerate(gen.make_batch(32))
+    ]
+    engine2.run_batch(batch2)
+
+
+# ---------------------------------------------------------------------------
+# Shard observability: execute.shards spans + shard metrics
+# ---------------------------------------------------------------------------
+def test_shard_spans_and_metrics_recorded():
+    db, registry, gen = build_smallbank(num_accounts=200, zipf_alpha=1.0, seed=1)
+    config = LTPGConfig(
+        batch_size=64, batched_exec=True, parallel_workers=2, trace=True
+    )
+    with LTPGEngine(db, registry, config) as engine:
+        batch = [
+            Transaction(t.procedure_name, t.params, tid=i)
+            for i, t in enumerate(gen.make_batch(64))
+        ]
+        engine.run_batch(batch)
+        spans = engine.tracer.spans_on(engine.SHARD_TRACK)
+        assert {s.name for s in spans} == {"shard:w0", "shard:w1"}
+        assert sum(s.args["lanes"] for s in spans) == 64
+        snap = engine.metrics.snapshot()
+        lanes = snap["histograms"]["execute.shard_lanes"]
+        assert set(lanes) == {"w0", "w1"}
+        assert snap["gauges"]["execute.merge_ns"]["last"] > 0
+
+
+def test_no_shard_track_without_parallel():
+    """Traced single-process runs must not grow a shard track — trace
+    byte-stability for parallel_workers=0 is the determinism contract."""
+    db, registry, gen = build_smallbank(num_accounts=200, zipf_alpha=1.0, seed=1)
+    config = LTPGConfig(batch_size=64, batched_exec=True, trace=True)
+    with LTPGEngine(db, registry, config) as engine:
+        batch = [
+            Transaction(t.procedure_name, t.params, tid=i)
+            for i, t in enumerate(gen.make_batch(64))
+        ]
+        engine.run_batch(batch)
+        assert engine.tracer.spans_on(engine.SHARD_TRACK) == []
+        snap = engine.metrics.snapshot()
+        assert "execute.merge_ns" not in snap["gauges"]
+        assert "execute.shard_lanes" not in snap["histograms"]
+
+
+# ---------------------------------------------------------------------------
+# Assembly prefetch: identical RunStats with and without the overlap
+# ---------------------------------------------------------------------------
+def _steady_state(prefetch: bool, retry_delay: int, workers: int = 0):
+    db, registry, gen = build_smallbank(num_accounts=300, zipf_alpha=1.5, seed=6)
+    config = LTPGConfig(
+        batch_size=128,
+        batched_exec=True,
+        parallel_workers=workers,
+        prefetch_assembly=prefetch,
+        retry_delay_batches=retry_delay,
+    )
+    with LTPGEngine(db, registry, config) as engine:
+        result = steady_state_run(engine, gen, batch_size=128, num_batches=6)
+        digest = engine.database.state_digest()
+    stats = [
+        (b.committed, b.aborted, b.logic_aborted, dict(b.phase_ns))
+        for b in result.run.batches
+    ]
+    return stats, result.run.total_committed, result.makespan_ns, digest
+
+
+@pytest.mark.parametrize("retry_delay", [1, 2])
+def test_prefetch_assembly_identical_run_stats(retry_delay):
+    # delay 1 degrades to the synchronous path (the next shortfall
+    # depends on the current batch's aborts); delay 2 actually overlaps
+    assert _steady_state(True, retry_delay) == _steady_state(False, retry_delay)
+
+
+def test_prefetch_with_parallel_workers_identical():
+    assert _steady_state(True, 2, workers=2) == _steady_state(False, 2, workers=0)
+    assert _shm_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Suite hygiene: nothing left in /dev/shm (runs last in this module)
+# ---------------------------------------------------------------------------
+def test_no_shm_segments_leaked():
+    assert _shm_segments() == []
