@@ -16,6 +16,15 @@ locally regenerated baseline::
     python scripts/check_wallclock.py             # gate against it
 
 Opt-in from pytest via the ``perf`` marker: ``pytest -m perf``.
+
+``--backend NAME`` additionally runs the array-backend gate: the
+batched path is measured through the named ``repro.xp`` backend
+(informational) and one batch's transfer ledger is checked for
+contract violations (zero implicit host round-trips inside kernel
+phases, zero float upcasts — this part gates).  Backends that are not
+constructible on this host auto-skip; ``--quick`` drops the
+machine-dependent wall-clock gates and runs only the backend gate,
+which is what CI uses (``--quick --backend mockgpu``).
 """
 
 from __future__ import annotations
@@ -186,6 +195,82 @@ def check_parallel(
     return 0
 
 
+def check_backend(backend: str | None, rounds: int = DEFAULT_ROUNDS) -> int:
+    """Gate the array-backend path: measure the batched sweep through
+    the ``repro.xp`` backend (informational — mockgpu pays bookkeeping
+    overhead by design, real devices vary by host) and verify the
+    device contract on one batch's transfer ledger (this part gates:
+    zero implicit host round-trips inside kernel phases, zero float
+    upcasts).
+
+    ``backend=None``/``"auto"`` picks the first constructible device
+    backend and skips (exit 0) when none is installed; a named backend
+    that is not constructible here also skips.
+    """
+    import dataclasses
+
+    from repro.bench import wallclock
+    from repro.bench.common import ltpg_config, tpcc_bench
+    from repro.xp import available_backends
+
+    avail = available_backends()
+    if backend in (None, "auto"):
+        device = [n for n in avail if n not in ("numpy", "mockgpu")]
+        if not device:
+            print(
+                "backend gate skipped: no device backend (cupy/torch) "
+                "constructible here; use --backend mockgpu to run the "
+                "contract checker"
+            )
+            return 0
+        backend = device[0]
+    if backend not in avail:
+        print(f"backend gate skipped: backend {backend!r} not constructible here")
+        return 0
+
+    reference = wallclock.measure_path(
+        columnar=True, batch_size=GATE_BATCH, scale=1.0, rounds=rounds,
+        batched=True,
+    )
+    through = wallclock.measure_path(
+        columnar=True, batch_size=GATE_BATCH, scale=1.0, rounds=rounds,
+        batched=True, backend=backend,
+    )
+    ratio = through["total"] / max(reference["total"], 1e-12)
+    print(
+        f"batched total @ batch {GATE_BATCH} via {backend}: "
+        f"{through['total'] * 1e3:.1f} ms vs numpy "
+        f"{reference['total'] * 1e3:.1f} ms (x{ratio:.2f}, informational)"
+    )
+
+    # contract leg: one fresh batch, then inspect the transfer ledger
+    bench = tpcc_bench(32, neworder_pct=50, batch_size=GATE_BATCH, scale=1.0)
+    config = dataclasses.replace(
+        ltpg_config(bench.batch_size),
+        columnar_ops=True, batched_exec=True, array_backend=backend,
+    )
+    engine = bench.engine(config)
+    try:
+        engine.run_batch(bench.generator.make_batch(bench.batch_size))
+        resolved = engine._ensure_backend()
+        ledger = resolved.transfer_stats()
+        upcasts = list(getattr(resolved, "upcasts", ()))
+    finally:
+        engine.close()
+    print(
+        f"transfer ledger: {ledger.h2d_bytes} B h2d / {ledger.d2h_bytes} B d2h "
+        f"in {ledger.count} transfers, {ledger.dispatches} dispatches, "
+        f"{ledger.implicit_syncs} implicit syncs, {len(upcasts)} upcasts"
+    )
+    if ledger.implicit_syncs or upcasts:
+        print(
+            f"backend contract violated on {backend}: implicit host "
+            "round-trips or float upcasts inside the hot path"
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -224,12 +309,30 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-parallel", action="store_true",
         help="skip the process-parallel speedup gate",
     )
+    parser.add_argument(
+        "--backend", default=None,
+        help="repro.xp backend for the array-backend gate (default: "
+        "first constructible device backend, skipping when none is)",
+    )
+    parser.add_argument(
+        "--skip-backend", action="store_true",
+        help="skip the array-backend contract gate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the machine-dependent wall-clock gates and run only "
+        "the backend gate at reduced rounds (the CI configuration)",
+    )
     args = parser.parse_args(argv)
-    rc = check(args.baseline, args.allowed_factor, args.rounds)
-    if rc == 0 and not args.skip_batched:
-        rc = check_batched(args.rounds, args.batched_floor)
-    if rc == 0 and not args.skip_parallel:
-        rc = check_parallel(args.rounds, args.parallel_floor)
+    rc = 0
+    if not args.quick:
+        rc = check(args.baseline, args.allowed_factor, args.rounds)
+        if rc == 0 and not args.skip_batched:
+            rc = check_batched(args.rounds, args.batched_floor)
+        if rc == 0 and not args.skip_parallel:
+            rc = check_parallel(args.rounds, args.parallel_floor)
+    if rc == 0 and not args.skip_backend:
+        rc = check_backend(args.backend, 2 if args.quick else args.rounds)
     return rc
 
 

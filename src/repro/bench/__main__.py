@@ -33,7 +33,7 @@ from repro.bench import (
 )
 
 
-def _runners(scale: float, rounds: int):
+def _runners(scale: float, rounds: int, backend: str | None = None):
     return {
         "table2": lambda: table2.run(scale=scale, rounds=rounds),
         "table3": lambda: table3.run(scale=scale, rounds=rounds),
@@ -51,7 +51,9 @@ def _runners(scale: float, rounds: int):
         "calibration": lambda: calibration.run(scale=scale, rounds=rounds),
         "sweep": lambda: sweep.run(scale=scale, rounds=rounds),
         # Host wall-clock (not simulated time); writes BENCH_wallclock.json.
-        "wallclock": lambda: wallclock.run_and_write(scale=scale, rounds=rounds),
+        "wallclock": lambda: wallclock.run_and_write(
+            scale=scale, rounds=rounds, backend=backend
+        ),
     }
 
 
@@ -69,8 +71,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=4, help="measured batches per cell"
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="add a batched[<backend>] column to the wallclock sweep "
+        "(repro.xp backend name; skipped when not constructible here)",
+    )
     args = parser.parse_args(argv)
-    runners = _runners(args.scale, args.rounds)
+    runners = _runners(args.scale, args.rounds, args.backend)
     names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:
         if name not in runners:

@@ -79,9 +79,14 @@ class WallclockResult:
             self.seconds["parallel"][batch][phase], 1e-12
         )
 
+    def backend_paths(self) -> list[str]:
+        """The optional per-backend columns (``batched[<backend>]``)."""
+        return sorted(p for p in self.seconds if p.startswith("batched["))
+
     def format(self) -> str:
         have_batched = "batched" in self.seconds
         have_parallel = "parallel" in self.seconds
+        backends = self.backend_paths()
         headers = [
             "batch size",
             "columnar exec+conf (s)",
@@ -92,6 +97,7 @@ class WallclockResult:
             headers += ["batched exec (s)", "batched speedup (exec)"]
         if have_parallel:
             headers += ["parallel exec (s)", "parallel speedup (exec)"]
+        headers += [f"{p} exec (s)" for p in backends]
         rows = []
         for b in sorted(self.seconds.get("columnar", {})):
             row = [
@@ -110,6 +116,7 @@ class WallclockResult:
                     self.seconds["parallel"][b]["execute"],
                     f"{self.parallel_speedup(b):.2f}x",
                 ]
+            row += [self.seconds[p][b]["execute"] for p in backends]
             rows.append(row)
         table = format_table(
             "Host wall-clock per batch: parallel vs batched vs columnar "
@@ -175,6 +182,7 @@ def measure_path(
     seed: int = 7,
     batched: bool = False,
     parallel: int = 0,
+    backend: str = "numpy",
 ) -> dict[str, float]:
     """Min-of-rounds per-phase host seconds for one op path.
 
@@ -182,7 +190,9 @@ def measure_path(
     streams for a given seed) and discards one warm-up batch.  A
     ``parallel`` worker count > 0 measures the process-parallel sharded
     execute (implies the batched path); the warm-up batch also absorbs
-    the pool start-up and snapshot export.
+    the pool start-up and snapshot export.  ``backend`` selects the
+    ``repro.xp`` array backend (non-numpy backends require the batched
+    path; the warm-up batch also absorbs any device initialization).
     """
     bench = tpcc_bench(
         warehouses, neworder_pct=neworder_pct, batch_size=batch_size,
@@ -193,6 +203,7 @@ def measure_path(
         columnar_ops=columnar or batched or parallel > 0,
         batched_exec=batched or parallel > 0,
         parallel_workers=parallel,
+        array_backend=backend,
     )
     engine = bench.engine(config)
     try:
@@ -254,7 +265,15 @@ def run(
     neworder_pct: int = 50,
     seed: int = 7,
     parallel_workers: int = PARALLEL_WORKERS,
+    backend: str | None = None,
 ) -> WallclockResult:
+    """Sweep all op paths; ``backend`` adds an optional per-backend
+    column (a ``batched[<backend>]`` series measured through the
+    ``repro.xp`` shim) when that backend is constructible here."""
+    from repro.xp import available_backends, get_backend
+
+    if backend is not None and backend not in available_backends():
+        backend = None  # auto-skip: the device library is absent
     result = WallclockResult()
     result.meta = {
         "workload": f"tpcc neworder={neworder_pct}%",
@@ -268,14 +287,20 @@ def run(
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
         "parallel_workers": parallel_workers,
+        # active array backend + library version: the per-backend
+        # column's backend when one was requested, else the reference
+        # every standard path runs on
+        "array_backend": get_backend(backend or "numpy").device_info(),
     }
-    paths = (
-        ("parallel", True, True, parallel_workers),
-        ("batched", True, True, 0),
-        ("columnar", True, False, 0),
-        ("reference", False, False, 0),
-    )
-    for path, columnar, batched, workers in paths:
+    paths = [
+        ("parallel", True, True, parallel_workers, "numpy"),
+        ("batched", True, True, 0, "numpy"),
+        ("columnar", True, False, 0, "numpy"),
+        ("reference", False, False, 0, "numpy"),
+    ]
+    if backend is not None and backend != "numpy":
+        paths.insert(0, (f"batched[{backend}]", True, True, 0, backend))
+    for path, columnar, batched, workers, xp_name in paths:
         if path == "parallel" and workers <= 0:
             continue
         by_batch: dict[int, dict[str, float]] = {}
@@ -283,7 +308,7 @@ def run(
             by_batch[batch] = measure_path(
                 columnar, batch, scale=scale, rounds=rounds,
                 warehouses=warehouses, neworder_pct=neworder_pct, seed=seed,
-                batched=batched, parallel=workers,
+                batched=batched, parallel=workers, backend=xp_name,
             )
         result.seconds[path] = by_batch
     result.metrics = measure_metrics(

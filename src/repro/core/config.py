@@ -98,6 +98,17 @@ class LTPGConfig:
     #: Produces identical RunStats; purely a wall-clock optimization.
     prefetch_assembly: bool = False
 
+    #: Array backend the batched hot path runs on (:mod:`repro.xp`):
+    #: ``"numpy"`` (the pinned reference), ``"mockgpu"`` (NumPy semantics
+    #: plus device-contract checking: transfer ledger, implicit-sync and
+    #: dtype-discipline enforcement), ``"cupy"``/``"torch"`` (real
+    #: device-resident execution when the library and a device exist),
+    #: or ``"auto"`` (best available device, else numpy).  Non-numpy
+    #: backends require ``batched_exec`` and are incompatible with
+    #: ``parallel_workers`` (device handles don't cross process
+    #: boundaries) and ``sanitize`` (the shadow log reads host arrays).
+    array_backend: str = "numpy"
+
     #: Columns managed by delayed updates: {(table, column), ...}.  These
     #: must be accessed only through ADD operations within a batch.
     delayed_columns: frozenset[tuple[str, str]] = frozenset()
@@ -151,6 +162,33 @@ class LTPGConfig:
                 "parallel_start_method must be '', 'fork', 'spawn', or "
                 f"'forkserver', not {self.parallel_start_method!r}"
             )
+        from repro.xp import BACKEND_NAMES  # noqa: PLC0415 (cycle: xp -> errors)
+
+        if self.array_backend not in (*BACKEND_NAMES, "auto"):
+            raise ConfigError(
+                f"unknown array_backend {self.array_backend!r}; expected one "
+                f"of {', '.join(BACKEND_NAMES)} or 'auto'"
+            )
+        if self.array_backend not in ("numpy", "auto"):
+            if not self.batched_exec:
+                raise ConfigError(
+                    f"array_backend={self.array_backend!r} requires "
+                    "batched_exec: only the vectorized twins run on the "
+                    "xp shim (the scalar path is host-only by design)"
+                )
+            if self.parallel_workers > 0:
+                raise ConfigError(
+                    f"array_backend={self.array_backend!r} is incompatible "
+                    "with parallel_workers: device allocations cannot be "
+                    "shared with worker processes.  Use the in-process "
+                    "executor (parallel_workers=0) for device backends"
+                )
+            if self.sanitize:
+                raise ConfigError(
+                    f"array_backend={self.array_backend!r} is incompatible "
+                    "with sanitize: the shadow access log instruments host "
+                    "arrays and would not observe device-resident kernels"
+                )
 
     def resolved_start_method(self) -> str | None:
         """The multiprocessing start method the worker pool should use:

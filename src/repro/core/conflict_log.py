@@ -28,6 +28,7 @@ from repro.gpusim.atomics import collision_profile
 from repro.gpusim.kernel import KernelContext
 from repro.storage.database import Database
 from repro.txn.batch_context import pack_sort_key
+from repro.xp import ArrayBackend, get_backend
 
 #: "No TID registered" sentinel; larger than any real TID.
 NO_TID = np.iinfo(np.int64).max
@@ -44,10 +45,15 @@ class ConflictLog:
         database: Database,
         flags: FlagGroups,
         dynamic_buckets: bool = True,
+        xp: ArrayBackend | None = None,
     ):
         self._db = database
         self._flags = flags
         self.dynamic_buckets = dynamic_buckets
+        #: backend owning the minima arrays (the registration tables
+        #: live device-resident; registrations ship keys/TIDs down and
+        #: the detection phase reads the gathered minima back up)
+        self.xp = xp if xp is not None else get_backend("numpy")
         self._min_read = np.empty(0, dtype=np.int64)
         self._min_write = np.empty(0, dtype=np.int64)
         self._base = np.zeros(database.num_tables + 1, dtype=np.int64)
@@ -76,10 +82,19 @@ class ConflictLog:
             # Grow with slack: tables gain rows every batch (inserts), so
             # sizing exactly would reallocate the minima arrays per batch.
             capacity = max(total + total // 4, 1024)
-            self._min_read = np.full(capacity, NO_TID, dtype=np.int64)
-            self._min_write = np.full(capacity, NO_TID, dtype=np.int64)
+            self._min_read = self.xp.full(capacity, NO_TID, dtype=np.int64)
+            self._min_write = self.xp.full(capacity, NO_TID, dtype=np.int64)
         self._touched = []
         self._clear_inserts()
+
+    def set_backend(self, xp: ArrayBackend) -> None:
+        """Re-home the registration tables on a new backend (engine
+        reconfiguration); the next :meth:`begin_batch` ships nothing —
+        the minima move here, once."""
+        self.xp = xp
+        self._min_read = xp.from_host(np.asarray(xp.to_host(self._min_read)))
+        self._min_write = xp.from_host(np.asarray(xp.to_host(self._min_write)))
+        self._touched = []
 
     def end_batch(self) -> None:
         """Reset every touched minimum back to the sentinel."""
@@ -135,21 +150,26 @@ class ConflictLog:
             return
         if keys.size != tids.size or keys.size != table_ids.size:
             raise TransactionError("registration arrays must align")
-        packed = pack_sort_key(keys, tids)
+        xp = self.xp
+        # the execute phase's write-set shipping: encoded keys and TIDs
+        # go down once per registration call (identity on numpy)
+        dkeys = xp.from_host(keys)
+        dtids = xp.from_host(tids)
+        packed = pack_sort_key(dkeys, dtids, xp=xp)
         if packed is None:
-            np.minimum.at(minima, keys, tids)
-            self._touched.append(np.unique(keys))
+            xp.scatter_min(minima, dkeys, dtids)
+            self._touched.append(xp.unique(dkeys))
         else:
             # one sort replaces both the element-wise atomicMin twin and
             # the np.unique for the touched list: the first entry of
             # each (key, tid)-sorted key run carries the min TID
-            order = np.argsort(packed)
-            ks = keys[order]
-            first = np.empty(ks.size, dtype=bool)
+            order = xp.argsort(packed, stable=False)
+            ks = dkeys[order]
+            first = xp.empty(ks.size, dtype=bool)
             first[0] = True
-            np.not_equal(ks[1:], ks[:-1], out=first[1:])
+            first[1:] = ks[1:] != ks[:-1]
             touched = ks[first]
-            minima[touched] = np.minimum(minima[touched], tids[order][first])
+            minima[touched] = xp.minimum(minima[touched], dtids[order][first])
             self._touched.append(touched)
         if ctx is not None:
             ctx.add_trace_arg(f"{buffer}.registrations", int(keys.size))
@@ -249,11 +269,14 @@ class ConflictLog:
         return keys * smax + (tids % s_u)
 
     # -- detection-phase queries ------------------------------------------------
+    # The gathers run on the device; the gathered minima (one word per
+    # queried key, not the whole table) come back explicitly — this is
+    # the conflict-flag readback the paper's per-batch sync method ships.
     def min_read(self, keys: np.ndarray) -> np.ndarray:
-        return self._min_read[keys]
+        return self.xp.to_host(self._min_read[keys])
 
     def min_write(self, keys: np.ndarray) -> np.ndarray:
-        return self._min_write[keys]
+        return self.xp.to_host(self._min_write[keys])
 
     def insert_winner(self, table_id: int, key: int) -> int:
         lo = int(np.searchsorted(self._ins_tables, table_id, side="left"))

@@ -110,11 +110,18 @@ class DelayedUpdater:
         col_ids: np.ndarray,
         deltas: np.ndarray,
         ctx: KernelContext | None = None,
+        xp=None,
     ) -> int:
         """Columnar twin of :meth:`apply`: merge flat per-cell delta
         arrays (interned column ids) with identical cost accounting.
         Addition commutes, so the grouped-scatter merge order cannot
-        change the snapshot :meth:`apply` would produce."""
+        change the snapshot :meth:`apply` would produce.
+
+        When an array backend ``xp`` is supplied, the per-segment
+        scatter runs through ``xp.scatter_add`` on a device copy of the
+        column and the merged result is copied back — one H2D/D2H pair
+        per (table, column) segment, matching the per-batch column
+        shipping the rest of the write-back path uses."""
         n = int(table_ids.size)
         if n == 0:
             return 0
@@ -130,11 +137,21 @@ class DelayedUpdater:
         starts = np.flatnonzero(new)
         ends = np.append(starts[1:], n)
         distinct_rows = 0
+        device = xp is not None and xp.is_device
         for s, e in zip(starts, ends):
             target = self._db.table_by_id(int(t_s[s])).column(
                 column_name(int(c_s[s]))
             )
-            np.add.at(target, r_s[s:e], v_s[s:e])
+            if device:
+                dev = xp.from_host(target)
+                xp.scatter_add(
+                    dev, xp.from_host(r_s[s:e]), xp.from_host(v_s[s:e])
+                )
+                host = xp.to_host(dev)
+                if not np.shares_memory(host, target):
+                    target[:] = host
+            else:
+                np.add.at(target, r_s[s:e], v_s[s:e])
             distinct_rows += int(np.unique(r_s[s:e]).size)
         if ctx is not None:
             ctx.add_instructions(n * _MERGE_INSTRUCTIONS_PER_DELTA)

@@ -187,6 +187,14 @@ class LTPGEngine:
         # plus host seconds spent merging shard results.
         self._last_shards: list[tuple[int, int, int]] = []
         self._last_merge_s = 0.0
+        # Resolved array backend (repro.xp) for the batched hot path,
+        # re-resolved when config.array_backend changes after
+        # construction (mirrors the pool's registry-version check).
+        self._backend = None
+        self._backend_name: str | None = None
+        # Per-batch transfer-ledger deltas of the last batch (zero on
+        # the numpy backend), recorded for metrics/tracing.
+        self._last_transfers: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -233,6 +241,32 @@ class LTPGEngine:
             )
         return self._pool
 
+    def _ensure_backend(self):
+        """The resolved array backend, re-resolved when
+        ``config.array_backend`` changes after engine construction (the
+        config is frozen, but callers swap whole config objects — the
+        same invalidation contract :meth:`_ensure_pool` honors for the
+        procedure registry)."""
+        name = self.config.array_backend
+        if self._backend is not None and self._backend_name == name:
+            return self._backend
+        from repro.xp import resolve_backend
+
+        resolved = name
+        if name == "auto" and (
+            not self.config.batched_exec
+            or self.config.parallel_workers > 0
+            or self.config.sanitize
+        ):
+            # device backends are invalid under these configurations
+            # (explicit names fail ConfigError); auto degrades to host
+            resolved = "numpy"
+        backend = resolve_backend(resolved)
+        self._backend = backend
+        self._backend_name = name
+        self.conflict_log.set_backend(backend)
+        return backend
+
     # ------------------------------------------------------------------
     def run_batch(self, transactions: list[Transaction]) -> BatchResult:
         """Process one batch end to end; returns its result."""
@@ -243,6 +277,8 @@ class LTPGEngine:
         batch_index = self._batch_counter
         self._batch_counter += 1
         self.batch_log.append_batch(batch_index, transactions)
+        backend = self._ensure_backend()
+        xfer0 = backend.transfer_stats().snapshot()
         device = self.device
         start_ns = device.stream(self.h2d_stream).time_ns
         lat_factor = transfer_latency_factor(self.memory_plan)
@@ -262,7 +298,7 @@ class LTPGEngine:
         self._trace_begin_phase("phase:execute")
         with device.kernel(
             "execute", threads=max(1, len(transactions)), stream=self.compute_stream
-        ) as ctx:
+        ) as ctx, backend.kernel_phase("execute"):
             self._execute_phase(transactions, exec_data, ctx)
         exec_entry = device.profiler.entries[-1]
         exec_ns = exec_entry.duration_ns
@@ -278,7 +314,7 @@ class LTPGEngine:
             "conflict",
             threads=max(1, exec_data.total_ops),
             stream=self.compute_stream,
-        ) as ctx:
+        ) as ctx, backend.kernel_phase("conflict"):
             flags = self._conflict_phase(transactions, exec_data, ctx)
         conflict_ns = device.profiler.entries[-1].duration_ns
         self._phase_sync()
@@ -292,7 +328,7 @@ class LTPGEngine:
             "writeback",
             threads=max(1, int(committed_mask.sum())),
             stream=self.compute_stream,
-        ) as ctx:
+        ) as ctx, backend.kernel_phase("writeback"):
             rwset_bytes = self._writeback_phase(
                 transactions, exec_data, committed_mask, ctx
             )
@@ -350,6 +386,8 @@ class LTPGEngine:
         result.stats.occupancy = occupancy(
             KernelResources(threads_per_block=exec_geometry.block)
         ).occupancy
+        xfer1 = backend.transfer_stats().snapshot()
+        self._last_transfers = {k: xfer1[k] - xfer0[k] for k in xfer1}
         self._record_observability(
             result.stats, start_ns, end_ns,
             exec_span=(exec_entry.start_ns, exec_entry.duration_ns),
@@ -429,6 +467,14 @@ class LTPGEngine:
                 "conflict_log_load", end_ns,
                 load_factor=stats.bucket_load_factor,
             )
+            if self._last_transfers.get("count"):
+                # real-transfer ledger of the array backend (absent on
+                # the host reference, whose ledger stays at zero)
+                self.tracer.counter(
+                    "transfers", end_ns,
+                    h2d_bytes=self._last_transfers["h2d_bytes"],
+                    d2h_bytes=self._last_transfers["d2h_bytes"],
+                )
         if self.metrics is not None:
             m = self.metrics
             m.counter("txn.admitted").inc(stats.num_txns)
@@ -450,6 +496,14 @@ class LTPGEngine:
             m.counter("conflict_log.registered_writes").inc(
                 stats.registered_writes
             )
+            if self._last_transfers.get("count"):
+                m.counter("transfer.h2d_bytes").inc(
+                    self._last_transfers["h2d_bytes"]
+                )
+                m.counter("transfer.d2h_bytes").inc(
+                    self._last_transfers["d2h_bytes"]
+                )
+                m.counter("transfer.count").inc(self._last_transfers["count"])
             reasons = m.histogram("engine.abort_reason")
             for reason, count in stats.abort_reasons.items():
                 reasons.observe(reason, count)
@@ -793,6 +847,7 @@ class LTPGEngine:
                 self.database,
                 [transactions[i].params for i in idxs],
                 delayed_mask_fn=delayed_fn,
+                xp=self._ensure_backend(),
             )
             batched(bctx, bctx.params)
             mat, counts, g_locals, ranges_by_lane = bctx.finalize()
@@ -1354,6 +1409,8 @@ class LTPGEngine:
         a_keep = commit[bl.a_txn] if bl.a_txn.size else np.zeros(0, dtype=bool)
         d_keep = commit[bl.d_txn] if bl.d_txn.size else np.zeros(0, dtype=bool)
         cells = int(w_keep.sum()) + int(a_keep.sum())
+        xp = self._ensure_backend()
+        on_device = xp.is_device
 
         def scatter(tables, rows, cols, vals, accumulate: bool) -> None:
             if tables.size == 0:
@@ -1371,7 +1428,23 @@ class LTPGEngine:
                 target = db.table_by_id(int(tables[s])).column(
                     column_name(int(cols[s]))
                 )
-                if accumulate:
+                if on_device:
+                    # per-column device scatter with an explicit round
+                    # trip: the snapshot's authoritative copy is host
+                    # memory (the paper's CPU-side primary), so each
+                    # (table, column) segment ships down, scatters, and
+                    # ships the merged column back
+                    dev = xp.from_host(target)
+                    idx = xp.from_host(rows[s:e])
+                    val = xp.from_host(vals[s:e])
+                    if accumulate:
+                        xp.scatter_add(dev, idx, val)
+                    else:
+                        xp.scatter(dev, idx, val)
+                    host = xp.to_host(dev)
+                    if not np.shares_memory(host, target):
+                        target[:] = host
+                elif accumulate:
                     np.add.at(target, rows[s:e], vals[s:e])
                 else:
                     target[rows[s:e]] = vals[s:e]
@@ -1438,7 +1511,7 @@ class LTPGEngine:
         ctx.add_instructions(_APPLY_INSTRUCTIONS * max(1, cells))
         self.delayed.apply_arrays(
             bl.d_table[d_keep], bl.d_row[d_keep], bl.d_col[d_keep],
-            bl.d_val[d_keep], ctx,
+            bl.d_val[d_keep], ctx, xp=xp,
         )
         if self.memory_plan.mode is MemoryMode.UNIFIED and (
             w_keep.any() or a_keep.any()

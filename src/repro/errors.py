@@ -45,6 +45,23 @@ class ConfigError(TransactionError):
     configuration failures keep working)."""
 
 
+class BackendError(ReproError):
+    """Raised for array-backend misuse (:mod:`repro.xp`): unknown or
+    unavailable backend names, malformed primitive arguments, ..."""
+
+
+class BackendUnavailable(BackendError):
+    """Raised when a requested array backend's library (CuPy, PyTorch)
+    is not importable, or its device is not usable, in this process."""
+
+
+class BackendContractError(BackendError):
+    """Raised by the ``mockgpu`` backend when code inside a kernel phase
+    performs an implicit device-to-host round-trip (``tolist``/``int``/
+    iteration on a device array) instead of synchronizing explicitly
+    through ``xp.to_host``/``xp.item`` at a phase boundary."""
+
+
 class ParallelExecutionError(ReproError):
     """Raised when the process-parallel execute pool cannot be built or
     a worker process dies (unpicklable procedure twin, crashed worker,

@@ -44,6 +44,7 @@ from repro.txn.operations import (
     column_name,
     intern_column,
 )
+from repro.xp import ArrayBackend, get_backend
 
 _READ = int(OpKind.READ)
 _WRITE = int(OpKind.WRITE)
@@ -53,11 +54,18 @@ _EMPTY_COL = intern_column("")
 _KEY_COL = intern_column(KEY_COLUMN)
 
 
-def pack_sort_key(*fields: np.ndarray) -> np.ndarray | None:
+def pack_sort_key(
+    *fields: np.ndarray, xp: ArrayBackend | None = None
+) -> np.ndarray | None:
     """Fold non-negative sort fields (major first) into one int64 key so
     a single radix argsort can replace a multi-key lexsort.  Returns
     ``None`` when any field is negative or the combined ranges cannot
-    fit 62 bits (the caller falls back to ``np.lexsort``)."""
+    fit 62 bits (the caller falls back to ``xp.lexsort``).
+
+    Runs on whichever backend owns ``fields``; pass ``xp`` so the packed
+    key stays device-resident (the min/max range probes are one-word
+    readbacks either way — device reductions with a scalar result).
+    """
     spans = []
     width = 1
     for f in fields:
@@ -68,11 +76,19 @@ def pack_sort_key(*fields: np.ndarray) -> np.ndarray | None:
         width *= s
         if width >= 1 << 62:
             return None
-    packed = fields[0].astype(np.int64, copy=True)
+    if xp is None:
+        packed = fields[0].astype(np.int64, copy=True)
+    else:
+        packed = xp.astype(fields[0], np.int64, copy=True)
     for f, s in zip(fields[1:], spans[1:]):
         packed *= s
         packed += f
     return packed
+
+
+def _append_scalar(xp: ArrayBackend, arr, value: int):
+    """``np.append(arr, value)`` that stays on ``arr``'s device."""
+    return xp.concatenate((arr, xp.asarray([value], dtype=np.int64)))
 
 
 class ParamColumns:
@@ -82,14 +98,14 @@ class ParamColumns:
     lane's actual parameter count); ``lengths[lane]`` is that count.
     """
 
-    __slots__ = ("padded", "lengths", "n")
+    __slots__ = ("padded", "lengths", "n", "xp")
 
-    def __init__(self, params_list: list[tuple]):
+    def __init__(self, params_list: list[tuple], xp: ArrayBackend | None = None):
+        self.xp = xp if xp is not None else get_backend("numpy")
         self.n = len(params_list)
         lengths = np.fromiter(
             map(len, params_list), dtype=np.int64, count=self.n
         )
-        self.lengths = lengths
         max_len = int(lengths.max()) if self.n else 0
         padded = np.zeros((self.n, max_len), dtype=np.int64)
         if max_len:
@@ -99,12 +115,15 @@ class ParamColumns:
                 count=int(lengths.sum()),
             )
             padded[np.arange(max_len) < lengths[:, None]] = flat
-        self.padded = padded
+        # the per-batch parameter shipping: one H2D of the padded
+        # parameter matrix per group (identity on the host backend)
+        self.lengths = self.xp.from_host(lengths)
+        self.padded = self.xp.from_host(padded)
 
     def column(self, i: int) -> np.ndarray:
         """Parameter ``i`` across all lanes (0 where absent)."""
         if i >= self.padded.shape[1]:
-            return np.zeros(self.n, dtype=np.int64)
+            return self.xp.zeros(self.n, dtype=np.int64)
         return self.padded[:, i]
 
 
@@ -309,10 +328,15 @@ class BatchedContext:
         database: Database,
         params_list: list[tuple],
         delayed_mask_fn=None,
+        xp: ArrayBackend | None = None,
     ):
         self._db = database
+        #: the array backend all emission/finalize math runs on
+        self.xp = xp if xp is not None else get_backend("numpy")
+        #: device-resident snapshot columns, shipped once per group
+        self._dev_cols: dict[tuple[int, str], np.ndarray] = {}
         self.n = len(params_list)
-        self.params = ParamColumns(params_list)
+        self.params = ParamColumns(params_list, xp=self.xp)
         #: lanes not yet logic-aborted and not sent to fallback
         self.active = np.ones(self.n, dtype=bool)
         #: lanes that logic-aborted (keep emitted ops, empty locals)
@@ -333,28 +357,63 @@ class BatchedContext:
         self._range_chunks: list[tuple] = []
 
     # -- lane management ----------------------------------------------------
+    # The active/aborted/fallback masks are *host* control state: twins
+    # index them freely, and the engine consults them after the phase.
+    # Lane index vectors handed to twins are device-resident.
     def all_lanes(self) -> np.ndarray:
-        return np.arange(self.n, dtype=np.int64)
+        return self.xp.arange(self.n, dtype=np.int64)
 
     def active_lanes(self) -> np.ndarray:
-        return np.flatnonzero(self.active)
+        return self.xp.flatnonzero(self.active)
 
     def logic_abort(self, lanes: np.ndarray) -> None:
         """Deterministic logic abort: the lanes keep their emitted ops,
         contribute empty local sets, and stop executing."""
+        lanes = self.xp.to_host(lanes)
         self.aborted[lanes] = True
         self.active[lanes] = False
 
     def fall_back(self, lanes: np.ndarray) -> None:
         """Send lanes to the scalar procedure: everything they emitted
         is discarded and the engine re-runs them one at a time."""
+        lanes = self.xp.to_host(lanes)
         self.fallback[lanes] = True
         self.active[lanes] = False
+
+    def active_mask(self) -> np.ndarray:
+        """The :attr:`active` mask as a device array (one H2D per call —
+        twins re-ship it after host-side abort/fallback updates when a
+        loop needs data-dependent lane selection on the device)."""
+        return self.xp.from_host(self.active)
 
     # -- snapshot access -----------------------------------------------------
     def resolve(self, table: str):
         """(table_id, table) — same lookup the scalar context uses."""
         return self._db.resolve(table)
+
+    def _column(self, t, column: str) -> np.ndarray:
+        """Snapshot column, device-resident under a device backend.
+
+        Each (table, column) ships to the device at most once per group
+        — the per-batch column shipping the paper's kernels assume.  On
+        the host backend this is the column itself (zero copies).
+        """
+        col = t._keys if column is None else t.column(column)
+        if not self.xp.is_device:
+            return col
+        key = (id(t), column)
+        dev = self._dev_cols.get(key)
+        if dev is None:
+            dev = self._dev_cols[key] = self.xp.from_host(col)
+        return dev
+
+    def column_of(self, table: str, column: str | None) -> np.ndarray:
+        """Snapshot column as a backend array (device-resident and
+        cached under a device backend); ``None`` gives the key column.
+        Twins use this for raw gathers that emit no op (pre-resolution
+        probes)."""
+        _, t = self._db.resolve(table)
+        return self._column(t, column)
 
     def dense_limit(self, table: str) -> int:
         """Keys below this resolve to their own row slot (twins use it
@@ -370,19 +429,29 @@ class BatchedContext:
         key is missing are logic-aborted (the scalar ``KeyNotFound``
         path) and carry ``found=False`` / ``rows=-1``.
         """
+        xp = self.xp
         _, t = self._db.resolve(table)
-        keys = np.asarray(keys, dtype=np.int64)
+        keys = xp.asarray(keys, dtype=np.int64)
         dense = (keys >= 0) & (keys < t._dense_limit)
-        rows = np.where(dense, keys, -1)
+        rows = xp.where(dense, keys, -1)
         found = dense.copy()
         if not dense.all():
+            # hash-index probes are host work: read the probe keys back
+            # explicitly, resolve, and ship the slots down in one go
             get = t.primary.get
-            for i in np.flatnonzero(~dense):
-                slot = get(int(keys[i]))
-                if slot is None:
-                    continue
-                rows[i] = slot
-                found[i] = True
+            nd = xp.flatnonzero(~dense)
+            slots = np.fromiter(
+                (
+                    -1 if (slot := get(k)) is None else slot
+                    for k in xp.tolist(keys[nd])
+                ),
+                dtype=np.int64,
+                count=nd.size,
+            )
+            dslots = xp.from_host(slots)
+            hit = dslots >= 0
+            rows[nd[hit]] = dslots[hit]
+            found[nd[hit]] = True
         missing = ~found
         if missing.any():
             self.logic_abort(lanes[missing])
@@ -404,17 +473,25 @@ class BatchedContext:
         Returns ``(keep, flat_rows)``: the per-lane keep mask and the
         row slots of the kept lanes' keys (still lane-major).
         """
+        xp = self.xp
         _, t = self._db.resolve(table)
-        keys = np.asarray(flat_keys, dtype=np.int64)
+        keys = xp.asarray(flat_keys, dtype=np.int64)
         dense = (keys >= 0) & (keys < t._dense_limit)
-        rows = np.where(dense, keys, -1)
-        nd = np.flatnonzero(~dense)
+        rows = xp.where(dense, keys, -1)
+        nd = xp.flatnonzero(~dense)
         if nd.size:
             get = t.primary.get
-            for i in nd:
-                slot = get(int(keys[i]))
-                if slot is not None:
-                    rows[i] = slot
+            slots = np.fromiter(
+                (
+                    -1 if (slot := get(k)) is None else slot
+                    for k in xp.tolist(keys[nd])
+                ),
+                dtype=np.int64,
+                count=nd.size,
+            )
+            dslots = xp.from_host(slots)
+            hit = dslots >= 0
+            rows[nd[hit]] = dslots[hit]
         missing = rows < 0
         bad = np.zeros(lanes.size, dtype=bool)
         if missing.any():
@@ -423,7 +500,7 @@ class BatchedContext:
             )
             self.fall_back(lanes[bad])
         keep = ~bad
-        return keep, rows[np.repeat(keep, counts)]
+        return keep, rows[xp.repeat(keep, counts)]
 
     # -- op emission ---------------------------------------------------------
     def _emit(
@@ -440,7 +517,7 @@ class BatchedContext:
         if lanes.size == 0:
             return np.empty(0, dtype=np.int64)
         table_id, t = self._db.resolve(table)
-        values = t.column(column)[rows]
+        values = self._column(t, column)[rows]
         self._emit(lanes, _READ, table_id, rows, intern_column(column), values)
         return values
 
@@ -472,9 +549,9 @@ class BatchedContext:
         table_id, t = self._db.resolve(table)
         k = rows_per_lane.shape[1]
         flat_rows = rows_per_lane.reshape(-1)
-        values = t.column(column)[flat_rows]
+        values = self._column(t, column)[flat_rows]
         self._emit(
-            np.repeat(lanes, k), _READ, table_id, flat_rows,
+            self.xp.repeat(lanes, k), _READ, table_id, flat_rows,
             intern_column(column), values,
         )
         return values.reshape(lanes.size, k)
@@ -493,9 +570,9 @@ class BatchedContext:
         if lanes.size == 0:
             return np.empty(0, dtype=np.int64)
         table_id, t = self._db.resolve(table)
-        values = t.column(column)[flat_rows]
+        values = self._column(t, column)[flat_rows]
         self._emit(
-            np.repeat(lanes, counts), _READ, table_id, flat_rows,
+            self.xp.repeat(lanes, counts), _READ, table_id, flat_rows,
             intern_column(column), values,
         )
         return values
@@ -507,7 +584,7 @@ class BatchedContext:
         if lanes.size == 0:
             return np.empty(0, dtype=np.int64)
         table_id, t = self._db.resolve(table)
-        keys = t._keys[rows]
+        keys = self._column(t, None)[rows]
         self._emit(lanes, _READ, table_id, rows, _KEY_COL, keys)
         return keys
 
@@ -539,14 +616,15 @@ class BatchedContext:
         returns the mask of lanes that inserted."""
         if lanes.size == 0:
             return np.zeros(0, dtype=bool)
+        xp = self.xp
         table_id, t = self._db.resolve(table)
-        keys = np.asarray(keys, dtype=np.int64)
+        keys = xp.asarray(keys, dtype=np.int64)
         exists = (keys >= 0) & (keys < t._dense_limit)
-        nd = np.flatnonzero(~exists)
+        nd = xp.flatnonzero(~exists)
         if nd.size:
             has = t.primary.__contains__
             hits = np.fromiter(
-                map(has, keys[nd].tolist()), dtype=bool, count=nd.size
+                map(has, xp.tolist(keys[nd])), dtype=bool, count=nd.size
             )
             exists[nd[hits]] = True
         if exists.any():
@@ -557,8 +635,8 @@ class BatchedContext:
             return ok
         ok_keys = keys[ok]
         names = tuple(values)
-        cols = np.stack(
-            [np.broadcast_to(np.asarray(values[c], dtype=np.int64), lanes.shape)[ok]
+        cols = xp.stack(
+            [xp.broadcast_to(xp.asarray(values[c], dtype=np.int64), lanes.shape)[ok]
              for c in names],
             axis=1,
         ) if names else np.zeros((ok_lanes.size, 0), dtype=np.int64)
@@ -573,8 +651,8 @@ class BatchedContext:
         ``ctx.ranges`` list), one per lane."""
         table_id, _ = self._db.resolve(table)
         self._range_chunks.append(
-            (lanes, table_id, np.asarray(lo, dtype=np.int64),
-             np.asarray(hi, dtype=np.int64))
+            (lanes, table_id, self.xp.asarray(lo, dtype=np.int64),
+             self.xp.asarray(hi, dtype=np.int64))
         )
 
     # -- finalize -------------------------------------------------------------
@@ -587,11 +665,12 @@ class BatchedContext:
         ``locals`` a :class:`GroupLocals` keyed by *lane* (the engine
         re-keys to batch positions).
         """
+        xp = self.xp
         n = self.n
         if self._chunks:
             sizes = [c[0].size for c in self._chunks]
             total = sum(sizes)
-            cols = np.empty((7, total), dtype=np.int64)
+            cols = xp.empty((7, total), dtype=np.int64)
             pos = 0
             for chunk, size in zip(self._chunks, sizes):
                 block = cols[:, pos:pos + size]
@@ -603,17 +682,18 @@ class BatchedContext:
             # program order, so no secondary sort key is needed; lane
             # fits int32, which halves the radix passes
             if self.fallback.any():
-                keep = np.flatnonzero(~self.fallback[lane])
+                fb = xp.from_host(self.fallback)
+                keep = xp.flatnonzero(~fb[lane])
                 perm = keep[
-                    np.argsort(lane[keep].astype(np.int32), kind="stable")
+                    xp.argsort(xp.astype(lane[keep], np.int32), stable=True)
                 ]
             else:
-                perm = np.argsort(lane.astype(np.int32), kind="stable")
+                perm = xp.argsort(xp.astype(lane, np.int32), stable=True)
             lane = lane[perm]
-            mat = np.empty((perm.size, OP_FIELDS), dtype=np.int64)
+            mat = xp.empty((perm.size, OP_FIELDS), dtype=np.int64)
             for f in range(1, 7):
                 mat[:, f - 1] = cols[f, perm]
-            counts = np.bincount(lane, minlength=n)
+            counts = xp.bincount(lane, minlength=n)
         else:
             mat = np.empty((0, OP_FIELDS), dtype=np.int64)
             counts = np.zeros(n, dtype=np.int64)
@@ -622,19 +702,34 @@ class BatchedContext:
         locals_ = self._resolve_locals(mat, lane)
         ranges_by_lane: dict[int, list[tuple[int, int, int]]] = {}
         for lanes, table_id, lo, hi in self._range_chunks:
-            m = ~self.fallback[lanes] & ~self.aborted[lanes]
+            lanes_h = xp.to_host(lanes)
+            lo_h, hi_h = xp.to_host(lo), xp.to_host(hi)
+            m = ~self.fallback[lanes_h] & ~self.aborted[lanes_h]
             for i in np.flatnonzero(m):
-                ranges_by_lane.setdefault(int(lanes[i]), []).append(
-                    (table_id, int(lo[i]), int(hi[i]))
+                ranges_by_lane.setdefault(int(lanes_h[i]), []).append(
+                    (table_id, int(lo_h[i]), int(hi_h[i]))
                 )
-        return mat, counts, locals_, ranges_by_lane
+        # the finalize boundary is the read/write-set shipping step: op
+        # matrix and per-lane counts come back to the host in one D2H
+        return xp.to_host(mat), xp.to_host(counts), locals_, ranges_by_lane
 
     def _resolve_locals(self, mat: np.ndarray, lane: np.ndarray) -> GroupLocals:
         """Columnar twin of ``LocalSets`` semantics: last write per
         location wins, a write kills earlier adds on its location, adds
         after the last write sum, delayed-column adds split out."""
+        xp = self.xp
         locals_ = GroupLocals(self.n)
-        live = ~self.aborted[lane] if lane.size else np.zeros(0, dtype=bool)
+        if xp.is_device:
+            # per-txn accounting accumulates on-device until the final
+            # D2H at the bottom of this method
+            locals_.nbytes_by_txn = xp.from_host(locals_.nbytes_by_txn)
+            locals_.delayed_count_by_txn = xp.from_host(
+                locals_.delayed_count_by_txn
+            )
+        if lane.size:
+            live = ~xp.from_host(self.aborted)[lane]
+        else:
+            live = np.zeros(0, dtype=bool)
         kind = mat[:, 0]
         wa = live & ((kind == _WRITE) | (kind == _ADD))
         if wa.any():
@@ -651,33 +746,33 @@ class BatchedContext:
             # delayed adds: sum per (lane, table, row, col)
             if dl.any():
                 dt, dr, dc, dlane, dv = t[dl], r[dl], c[dl], l[dl], v[dl]
-                packed = pack_sort_key(dlane, dt, dr, dc)
+                packed = pack_sort_key(dlane, dt, dr, dc, xp=xp)
                 order = (
-                    np.argsort(packed, kind="stable")
+                    xp.argsort(packed, stable=True)
                     if packed is not None
-                    else np.lexsort((dc, dr, dt, dlane))
+                    else xp.lexsort((dc, dr, dt, dlane))
                 )
                 dlane, dt, dr, dc, dv = (
                     dlane[order], dt[order], dr[order], dc[order], dv[order]
                 )
-                new = np.empty(dlane.size, dtype=bool)
+                new = xp.empty(dlane.size, dtype=bool)
                 new[0] = True
                 new[1:] = (
                     (dlane[1:] != dlane[:-1]) | (dt[1:] != dt[:-1])
                     | (dr[1:] != dr[:-1]) | (dc[1:] != dc[:-1])
                 )
-                first = np.flatnonzero(new)
+                first = xp.flatnonzero(new)
                 # int64 segment sums as cumsum differences at segment
                 # boundaries (exact; bincount weights would round-trip
                 # through float64)
-                cs = np.cumsum(dv)
-                last = np.append(first[1:], dv.size) - 1
+                cs = xp.cumsum(dv)
+                last = _append_scalar(xp, first[1:], dv.size) - 1
                 locals_.d_txn = dlane[first]
                 locals_.d_table = dt[first]
                 locals_.d_row = dr[first]
                 locals_.d_col = dc[first]
                 locals_.d_val = cs[last] - cs[first] + dv[first]
-                locals_.delayed_count_by_txn += np.bincount(
+                locals_.delayed_count_by_txn += xp.bincount(
                     locals_.d_txn, minlength=self.n
                 )
             nk = ~dl
@@ -685,29 +780,29 @@ class BatchedContext:
                 l2, t2, r2, c2, v2, w2 = l[nk], t[nk], r[nk], c[nk], v[nk], is_w[nk]
                 # the sort is stable, so within each (lane, loc) segment
                 # the emission order survives as the index order
-                packed = pack_sort_key(l2, t2, r2, c2)
+                packed = pack_sort_key(l2, t2, r2, c2, xp=xp)
                 order = (
-                    np.argsort(packed, kind="stable")
+                    xp.argsort(packed, stable=True)
                     if packed is not None
-                    else np.lexsort((c2, r2, t2, l2))
+                    else xp.lexsort((c2, r2, t2, l2))
                 )
                 l2, t2, r2, c2, v2, w2 = (
                     l2[order], t2[order], r2[order], c2[order],
                     v2[order], w2[order],
                 )
-                new = np.empty(l2.size, dtype=bool)
+                new = xp.empty(l2.size, dtype=bool)
                 new[0] = True
                 new[1:] = (
                     (l2[1:] != l2[:-1]) | (t2[1:] != t2[:-1])
                     | (r2[1:] != r2[:-1]) | (c2[1:] != c2[:-1])
                 )
-                seg = np.cumsum(new) - 1
-                nseg = int(seg[-1]) + 1
+                seg = xp.cumsum(new) - 1
+                nseg = int(new.sum())
                 # last write position per segment (-1 when none): wi is
                 # ascending, so plain fancy assignment leaves each
                 # segment its final (= last) write index
-                last_w = np.full(nseg, -1, dtype=np.int64)
-                wi = np.flatnonzero(w2)
+                last_w = xp.full(nseg, -1, dtype=np.int64)
+                wi = xp.flatnonzero(w2)
                 if wi.size:
                     last_w[seg[wi]] = wi
                 has_w = last_w >= 0
@@ -721,25 +816,25 @@ class BatchedContext:
                 # adds surviving: non-write entries past the segment's
                 # last write, summed per segment via cumsum differences
                 # (exact int64, no float round-trip)
-                idx = np.arange(l2.size, dtype=np.int64)
+                idx = xp.arange(l2.size, dtype=np.int64)
                 surv = ~w2 & (idx > last_w[seg])
                 if surv.any():
                     aseg = seg[surv]
                     sv = v2[surv]
-                    anew = np.empty(aseg.size, dtype=bool)
+                    anew = xp.empty(aseg.size, dtype=bool)
                     anew[0] = True
                     anew[1:] = aseg[1:] != aseg[:-1]
-                    astart = np.flatnonzero(anew)
-                    cs = np.cumsum(sv)
-                    alast = np.append(astart[1:], sv.size) - 1
-                    first_of_seg = np.flatnonzero(new)
+                    astart = xp.flatnonzero(anew)
+                    cs = xp.cumsum(sv)
+                    alast = _append_scalar(xp, astart[1:], sv.size) - 1
+                    first_of_seg = xp.flatnonzero(new)
                     fi = first_of_seg[aseg[astart]]
                     locals_.a_txn = l2[fi]
                     locals_.a_table = t2[fi]
                     locals_.a_row = r2[fi]
                     locals_.a_col = c2[fi]
                     locals_.a_val = cs[alast] - cs[astart] + sv[astart]
-            cells = np.bincount(locals_.w_txn, minlength=self.n) + np.bincount(
+            cells = xp.bincount(locals_.w_txn, minlength=self.n) + xp.bincount(
                 locals_.a_txn, minlength=self.n
             )
             locals_.nbytes_by_txn += 8 * cells
@@ -748,23 +843,23 @@ class BatchedContext:
         if self._ins_chunks:
             parts = []
             for el, table_id, keys, names, vals in self._ins_chunks:
-                m = ~self.fallback[el] & ~self.aborted[el]
+                m = ~self.fallback[xp.to_host(el)] & ~self.aborted[xp.to_host(el)]
                 if m.all():
                     parts.append((el, table_id, keys, names, vals))
                 elif m.any():
                     parts.append((el[m], table_id, keys[m], names, vals[m]))
             if parts:
-                L = np.concatenate([p[0] for p in parts])
-                T = np.concatenate(
-                    [np.full(p[0].size, p[1], dtype=np.int64) for p in parts]
+                L = xp.concatenate([p[0] for p in parts])
+                T = xp.concatenate(
+                    [xp.full(p[0].size, p[1], dtype=np.int64) for p in parts]
                 )
-                K = np.concatenate([p[2] for p in parts])
+                K = xp.concatenate([p[2] for p in parts])
                 if L.size > 1:
-                    packed = pack_sort_key(L, T, K)
+                    packed = pack_sort_key(L, T, K, xp=xp)
                     order = (
-                        np.argsort(packed, kind="stable")
+                        xp.argsort(packed, stable=True)
                         if packed is not None
-                        else np.lexsort((K, T, L))
+                        else xp.lexsort((K, T, L))
                     )
                     Ls, Ts, Ks = L[order], T[order], K[order]
                     d = (
@@ -772,17 +867,18 @@ class BatchedContext:
                         & (Ks[1:] == Ks[:-1])
                     )
                     if d.any():
-                        i = int(np.flatnonzero(d)[0]) + 1
-                        tname = self._db.table_by_id(int(Ts[i])).name
+                        Ts_h, Ks_h = xp.to_host(Ts), xp.to_host(Ks)
+                        i = int(np.flatnonzero(xp.to_host(d))[0]) + 1
+                        tname = self._db.table_by_id(int(Ts_h[i])).name
                         raise TransactionError(
-                            f"transaction inserts key {int(Ks[i])} into "
+                            f"transaction inserts key {int(Ks_h[i])} into "
                             f"{tname!r} twice"
                         )
-                nb = np.concatenate([
-                    np.full(p[0].size, 8 + 4 * len(p[3]), dtype=np.int64)
+                nb = xp.concatenate([
+                    xp.full(p[0].size, 8 + 4 * len(p[3]), dtype=np.int64)
                     for p in parts
                 ])
-                np.add.at(locals_.nbytes_by_txn, L, nb)
+                xp.scatter_add(locals_.nbytes_by_txn, L, nb)
                 # columnar insert records: chunks append in program
                 # order, so the global emission position doubles as the
                 # per-lane sequence number
@@ -798,7 +894,13 @@ class BatchedContext:
                 )
                 starts = np.cumsum(sizes) - sizes
                 locals_.i_pos = locals_.i_seq - np.repeat(starts, sizes)
-                locals_.i_meta = [(p[3], p[4]) for p in parts]
+                locals_.i_meta = [(p[3], xp.to_host(p[4])) for p in parts]
+        # read/write-set shipping: the group's resolved locals land on
+        # the host here, in one transfer per array (identity on numpy)
+        for name in GroupLocals.__slots__[:GroupLocals._NUM_ARRAYS]:
+            setattr(locals_, name, xp.to_host(getattr(locals_, name)))
+        locals_.nbytes_by_txn = xp.to_host(locals_.nbytes_by_txn)
+        locals_.delayed_count_by_txn = xp.to_host(locals_.delayed_count_by_txn)
         return locals_
 
 

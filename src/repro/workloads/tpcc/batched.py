@@ -30,29 +30,36 @@ from repro.workloads.tpcc.schema import (
     MAX_ORDER_LINES,
     TpccScale,
 )
+from repro.xp import ArrayBackend
 
 
-def _lane_major_offsets(counts: np.ndarray) -> np.ndarray:
+def _lane_major_offsets(xp: ArrayBackend, counts: np.ndarray) -> np.ndarray:
     """``[0..counts[0]-1, 0..counts[1]-1, ...]`` as one flat array."""
     total = int(counts.sum())
-    starts = np.cumsum(counts) - counts
-    return np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    starts = xp.cumsum(counts) - counts
+    return xp.arange(total, dtype=np.int64) - xp.repeat(starts, counts)
 
 
-def _segment_sums(counts: np.ndarray, values: np.ndarray) -> np.ndarray:
+def _segment_sums(
+    xp: ArrayBackend, counts: np.ndarray, values: np.ndarray
+) -> np.ndarray:
     """Per-lane sums of lane-major ``values``."""
-    sums = np.zeros(counts.size, dtype=np.int64)
-    np.add.at(sums, np.repeat(np.arange(counts.size), counts), values)
+    sums = xp.zeros(counts.size, dtype=np.int64)
+    xp.scatter_add(
+        sums, xp.repeat(xp.arange(counts.size, dtype=np.int64), counts), values
+    )
     return sums
 
 
-def _dup_in_rows(matrix: np.ndarray, valid: np.ndarray) -> np.ndarray:
+def _dup_in_rows(
+    xp: ArrayBackend, matrix: np.ndarray, valid: np.ndarray
+) -> np.ndarray:
     """Per-lane: does any value repeat among the valid cells?"""
     if matrix.shape[1] < 2:
         return np.zeros(matrix.shape[0], dtype=bool)
     # invalid cells get distinct negative sentinels so they never match
-    probe = np.where(valid, matrix, -1 - np.arange(matrix.shape[1]))
-    srt = np.sort(probe, axis=1)
+    probe = xp.where(valid, matrix, -1 - xp.arange(matrix.shape[1], dtype=np.int64))
+    srt = xp.sort(probe, axis=1)
     return (srt[:, 1:] == srt[:, :-1]).any(axis=1)
 
 
@@ -63,6 +70,7 @@ def _dup_in_rows(matrix: np.ndarray, valid: np.ndarray) -> np.ndarray:
 
 
 def _neworder_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
+    xp = bctx.xp
     lanes = bctx.all_lanes()
     w = params.column(0)
     d = params.column(1)
@@ -72,16 +80,16 @@ def _neworder_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
     n_items = (params.lengths - 5) // 2
     max_items = int(n_items.max()) if lanes.size else 0
     if max_items:
-        items = np.stack(
+        items = xp.stack(
             [params.column(5 + 2 * j) for j in range(max_items)], axis=1
         )
-        qtys = np.stack(
+        qtys = xp.stack(
             [params.column(6 + 2 * j) for j in range(max_items)], axis=1
         )
-        valid = np.arange(max_items) < n_items[:, None]
+        valid = xp.arange(max_items, dtype=np.int64) < n_items[:, None]
         # a repeated item id needs the second stock read to see the
         # first decrement — scalar territory
-        bctx.fall_back(lanes[_dup_in_rows(items, valid)])
+        bctx.fall_back(lanes[_dup_in_rows(xp, items, valid)])
 
     start = bctx.active_lanes()
     crows, cf = bctx.rows_for_keys("customer", start, c_key[start])
@@ -90,7 +98,7 @@ def _neworder_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
     d_key = w * DISTRICTS_PER_WAREHOUSE + d
 
     for j in range(max_items):
-        cur = np.flatnonzero(bctx.active & (n_items > j))
+        cur = xp.flatnonzero(bctx.active_mask() & (n_items > j))
         if not cur.size:
             continue
         irows, if_ = bctx.rows_for_keys("item", cur, items[cur, j])
@@ -102,7 +110,7 @@ def _neworder_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
         qty = qtys[cur, j]
         s_qty = bctx.read_rows("stock", cur, sr, "s_quantity")
         base = s_qty - qty
-        new_qty = np.where(base >= 10, base, base + 91)
+        new_qty = xp.where(base >= 10, base, base + 91)
         bctx.write("stock", cur, sr, "s_quantity", new_qty)
         bctx.add("stock", cur, sr, "s_ytd", qty)
         bctx.add("stock", cur, sr, "s_order_cnt", 1)
@@ -118,7 +126,7 @@ def _neworder_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
             },
         )
 
-    bctx.logic_abort(np.flatnonzero(bctx.active & (rollback != 0)))
+    bctx.logic_abort(xp.flatnonzero(bctx.active_mask() & (rollback != 0)))
     rem = bctx.active_lanes()
     ok = bctx.insert(
         "orders",
@@ -162,30 +170,32 @@ def _payment_b(bctx: BatchedContext, params: ParamColumns):
 
 
 def _orderstatus_b(bctx: BatchedContext, params: ParamColumns):
+    xp = bctx.xp
     lanes = bctx.all_lanes()
     c_key = params.column(0)
     crows, cf = bctx.rows_for_keys("customer", lanes, c_key)
     ok = lanes[cf]
     bctx.read_rows("customer", ok, crows[cf], "c_balance")
-    # latest order via the secondary index (inherently per row, like
-    # the scalar path; lanes without orders stop here)
+    # latest order via the secondary index — host work, like the scalar
+    # path; the probe keys come back in one explicit D2H (lanes without
+    # orders stop here)
     _, orders_t = bctx.resolve("orders")
     lookup = orders_t.secondary["o_c_key"].lookup
     sel, sel_rows = [], []
-    for lane in ok:
-        rows = lookup(int(c_key[lane]))
+    for lane, ck in zip(xp.tolist(ok), xp.tolist(c_key[cf])):
+        rows = lookup(ck)
         if rows:
-            sel.append(int(lane))
+            sel.append(lane)
             sel_rows.append(rows[-1])
     if not sel:
         return
-    sl = np.asarray(sel, dtype=np.int64)
-    srow = np.asarray(sel_rows, dtype=np.int64)
+    sl = xp.from_host(np.asarray(sel, dtype=np.int64))
+    srow = xp.from_host(np.asarray(sel_rows, dtype=np.int64))
     ol_cnt = bctx.read_rows("orders", sl, srow, "o_ol_cnt")
     order_id = bctx.key_at_rows("orders", sl, srow)
     flat_keys = (
-        np.repeat(order_id * MAX_ORDER_LINES, ol_cnt)
-        + _lane_major_offsets(ol_cnt)
+        xp.repeat(order_id * MAX_ORDER_LINES, ol_cnt)
+        + _lane_major_offsets(xp, ol_cnt)
     )
     keep, flat_rows = bctx.rows_for_flat_keys(
         "order_line", sl, ol_cnt, flat_keys
@@ -196,56 +206,59 @@ def _orderstatus_b(bctx: BatchedContext, params: ParamColumns):
 
 
 def _stocklevel_b(scale: TpccScale, bctx: BatchedContext, params: ParamColumns):
+    xp = bctx.xp
     lanes = bctx.all_lanes()
     w = params.column(0)
     n_ids = params.lengths - 2
     max_ids = int(n_ids.max()) if lanes.size else 0
     if not max_ids:
         return
-    items = np.stack(
+    items = xp.stack(
         [params.column(2 + j) for j in range(max_ids)], axis=1
     )
-    valid = np.arange(max_ids) < n_ids[:, None]
+    valid = xp.arange(max_ids, dtype=np.int64) < n_ids[:, None]
     s_keys = (w[:, None] * scale.num_items + items)[valid]
     keep, flat_rows = bctx.rows_for_flat_keys("stock", lanes, n_ids, s_keys)
     bctx.read_var("stock", lanes[keep], n_ids[keep], flat_rows, "s_quantity")
 
 
 def _delivery_b(bctx: BatchedContext, params: ParamColumns):
+    xp = bctx.xp
     lanes = bctx.all_lanes()
     carrier = params.column(1)
     n_orders = params.lengths - 2
     max_orders = int(n_orders.max()) if lanes.size else 0
     if not max_orders:
         return
-    orders_mx = np.stack(
+    orders_mx = xp.stack(
         [params.column(2 + k) for k in range(max_orders)], axis=1
     )
-    valid = np.arange(max_orders) < n_orders[:, None]
+    valid = xp.arange(max_orders, dtype=np.int64) < n_orders[:, None]
 
     # pre-resolve every order row against the snapshot index so
     # intra-lane duplicate *customers* can be detected up front (the
-    # second balance read would need the first credit's overlay)
+    # second balance read would need the first credit's overlay); the
+    # probe keys come back to the host in one explicit D2H
     _, orders_t = bctx.resolve("orders")
     get = orders_t.primary.get
-    orow_mx = np.full_like(orders_mx, -1)
-    flat_idx = np.flatnonzero(valid.reshape(-1))
+    orow_mx = xp.full(orders_mx.shape, -1, dtype=np.int64)
+    flat_idx = xp.flatnonzero(valid.reshape(-1))
     flat_keys = orders_mx.reshape(-1)[flat_idx]
     flat_rows = np.fromiter(
         (
-            -1 if (slot := get(int(k))) is None else slot
-            for k in flat_keys
+            -1 if (slot := get(k)) is None else slot
+            for k in xp.tolist(flat_keys)
         ),
         dtype=np.int64,
         count=flat_idx.size,
     )
-    orow_mx.reshape(-1)[flat_idx] = flat_rows
+    orow_mx.reshape(-1)[flat_idx] = xp.from_host(flat_rows)
     found = valid & (orow_mx >= 0)
-    ckey_mx = orders_t.column("o_c_key")[np.where(found, orow_mx, 0)]
-    bctx.fall_back(lanes[_dup_in_rows(ckey_mx, found)])
+    ckey_mx = bctx.column_of("orders", "o_c_key")[xp.where(found, orow_mx, 0)]
+    bctx.fall_back(lanes[_dup_in_rows(xp, ckey_mx, found)])
 
     for k in range(max_orders):
-        cur = np.flatnonzero(bctx.active & (n_orders > k))
+        cur = xp.flatnonzero(bctx.active_mask() & (n_orders > k))
         if not cur.size:
             continue
         orow = orow_mx[cur, k]
@@ -256,8 +269,8 @@ def _delivery_b(bctx: BatchedContext, params: ParamColumns):
         bctx.write("orders", cur, orow, "o_carrier_id", carrier[cur])
         ol_cnt = bctx.read_rows("orders", cur, orow, "o_ol_cnt")
         flat_keys = (
-            np.repeat(orders_mx[cur, k] * MAX_ORDER_LINES, ol_cnt)
-            + _lane_major_offsets(ol_cnt)
+            xp.repeat(orders_mx[cur, k] * MAX_ORDER_LINES, ol_cnt)
+            + _lane_major_offsets(xp, ol_cnt)
         )
         keep, flat_rows = bctx.rows_for_flat_keys(
             "order_line", cur, ol_cnt, flat_keys
@@ -266,7 +279,7 @@ def _delivery_b(bctx: BatchedContext, params: ParamColumns):
         amounts = bctx.read_var(
             "order_line", cur, ol_cnt, flat_rows, "ol_amount"
         )
-        totals = _segment_sums(ol_cnt, amounts)
+        totals = _segment_sums(xp, ol_cnt, amounts)
         c_key = bctx.read_rows("orders", cur, orow, "o_c_key")
         crows, cf = bctx.rows_for_keys("customer", cur, c_key)
         cur2, cr2 = cur[cf], crows[cf]

@@ -122,15 +122,16 @@ def _ycsb_txn_b(btree_scans, bctx, params):
     workloads make those collisions rare (fresh insert keys, f0/f1
     field separation keeps commutative updates out of the way).
     """
+    xp = bctx.xp
     n_ops = params.lengths // 2
     max_ops = int(n_ops.max()) if bctx.n else 0
     if max_ops == 0:
         return
-    codes = np.stack([params.column(2 * j) for j in range(max_ops)], axis=1)
-    keys = np.stack([params.column(2 * j + 1) for j in range(max_ops)], axis=1)
-    valid = np.arange(max_ops) < n_ops[:, None]
+    codes = xp.stack([params.column(2 * j) for j in range(max_ops)], axis=1)
+    keys = xp.stack([params.column(2 * j + 1) for j in range(max_ops)], axis=1)
+    valid = xp.arange(max_ops, dtype=np.int64) < n_ops[:, None]
 
-    hazard = np.zeros(bctx.n, dtype=bool)
+    hazard = xp.zeros(bctx.n, dtype=bool)
     for j in range(max_ops):
         vj = valid[:, j]
         kj = keys[:, j]
@@ -155,32 +156,32 @@ def _ycsb_txn_b(btree_scans, bctx, params):
             # direction: earlier reads miss the snapshot, later
             # ones would need the buffered row)
             hazard |= ij & (reads_f1 | (eq & ((c2 == 1) | (c2 == 2))))
-    bctx.fall_back(np.flatnonzero(hazard))
+    bctx.fall_back(xp.flatnonzero(hazard))
 
     dense_limit = bctx.dense_limit("usertable")
     for j in range(max_ops):
-        act = bctx.active & valid[:, j]
+        act = bctx.active_mask() & valid[:, j]
         cj = codes[:, j]
         kj = keys[:, j]
-        lanes0 = np.flatnonzero(act & (cj == 0))
+        lanes0 = xp.flatnonzero(act & (cj == 0))
         if lanes0.size:
             rows, found = bctx.rows_for_keys("usertable", lanes0, kj[lanes0])
             bctx.read_rows("usertable", lanes0[found], rows[found], "f1")
-        lanes1 = np.flatnonzero(act & (cj == 1))
+        lanes1 = xp.flatnonzero(act & (cj == 1))
         if lanes1.size:
             rows, found = bctx.rows_for_keys("usertable", lanes1, kj[lanes1])
             bctx.add("usertable", lanes1[found], rows[found], "f0", 1)
-        lanes2 = np.flatnonzero(act & (cj == 2))
+        lanes2 = xp.flatnonzero(act & (cj == 2))
         if lanes2.size:
             k = kj[lanes2]
             bctx.insert("usertable", lanes2, k, {"f0": 0, "f1": k})
-        lanes4 = np.flatnonzero(act & (cj == 4))
+        lanes4 = xp.flatnonzero(act & (cj == 4))
         if lanes4.size:
             rows, found = bctx.rows_for_keys("usertable", lanes4, kj[lanes4])
             ok, r = lanes4[found], rows[found]
             value = bctx.read_rows("usertable", ok, r, "f1")
             bctx.write("usertable", ok, r, "f1", value + 1)
-        lanes3 = np.flatnonzero(act & (cj == 3))
+        lanes3 = xp.flatnonzero(act & (cj == 3))
         if lanes3.size:
             lo = kj[lanes3]
             # the fast path needs every key of the range to resolve
@@ -195,7 +196,7 @@ def _ycsb_txn_b(btree_scans, bctx, params):
                     bctx.range_predicate(
                         "usertable", sl, lo, lo + SCAN_LENGTH - 1
                     )
-                rows = lo[:, None] + np.arange(SCAN_LENGTH, dtype=np.int64)
+                rows = lo[:, None] + xp.arange(SCAN_LENGTH, dtype=np.int64)
                 bctx.read_block("usertable", sl, rows, "f1")
 
 

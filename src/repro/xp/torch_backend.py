@@ -1,0 +1,482 @@
+"""PyTorch backend (experimental): tensors behind a NumPy-shaped proxy.
+
+Torch tensors diverge from the NumPy surface the twins were written
+against — ``.size`` is a method, there is no ``astype``/``lexsort``,
+dtypes are ``torch.int64`` objects — so device tensors travel inside a
+thin :class:`TorchArray` proxy that restores the idioms the hot path
+uses (``.size``/``.shape``/``.dtype.kind``, ``astype``, fancy indexing,
+in-place arithmetic).  ``lexsort`` is emulated with successive stable
+argsorts (least-significant key first), which preserves the reference
+ordering exactly.
+
+This backend is exercised only where PyTorch is installed; in this
+repository's CI the contract is carried by ``mockgpu`` and the
+cross-backend byte-identity suite.  Construction raises
+:class:`BackendUnavailable` when torch is missing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BackendUnavailable
+from repro.xp.base import ArrayBackend
+
+_DTYPE_KIND = {"i": "i", "u": "u", "b": "b", "f": "f"}
+
+
+class _DtypeView:
+    """Minimal ``numpy.dtype``-alike for a torch dtype (``kind``/``itemsize``)."""
+
+    def __init__(self, torch_dtype, torch) -> None:
+        self._dtype = torch_dtype
+        if torch_dtype == torch.bool:
+            self.kind, self.itemsize = "b", 1
+        elif torch_dtype.is_floating_point:
+            self.kind, self.itemsize = "f", torch_dtype.itemsize
+        else:
+            self.kind, self.itemsize = "i", torch_dtype.itemsize
+
+    def __eq__(self, other) -> bool:
+        return self._dtype == other or getattr(other, "_dtype", None) == self._dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"dtype({self._dtype})"
+
+
+class TorchArray:
+    """NumPy-idiom proxy over a device tensor.
+
+    Wraps exactly one tensor; every operation unwraps proxy operands,
+    runs on-device, and re-wraps tensor results so device residency is
+    sticky through arithmetic, comparisons, indexing, and reductions.
+    """
+
+    __slots__ = ("t", "_xp")
+    __array_priority__ = 20.0
+
+    def __init__(self, tensor, xp: "TorchBackend") -> None:
+        self.t = tensor
+        self._xp = xp
+
+    # -- numpy-surface metadata ---------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.t.numel()
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.t.shape)
+
+    @property
+    def ndim(self) -> int:
+        return self.t.dim()
+
+    @property
+    def nbytes(self) -> int:
+        return self.t.numel() * self.t.element_size()
+
+    @property
+    def itemsize(self) -> int:
+        return self.t.element_size()
+
+    @property
+    def dtype(self) -> _DtypeView:
+        return _DtypeView(self.t.dtype, self._xp.module)
+
+    def astype(self, dtype, copy: bool = False):
+        target = self._xp._torch_dtype(dtype)
+        out = self.t.to(target)
+        if copy and out is self.t:
+            out = out.clone()
+        return TorchArray(out, self._xp)
+
+    def copy(self):
+        return TorchArray(self.t.clone(), self._xp)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], tuple):
+            shape = shape[0]
+        return TorchArray(self.t.reshape(shape), self._xp)
+
+    # -- indexing -------------------------------------------------------------
+    @staticmethod
+    def _unwrap(x):
+        if isinstance(x, TorchArray):
+            return x.t
+        if isinstance(x, tuple):
+            return tuple(TorchArray._unwrap(i) for i in x)
+        return x
+
+    def __getitem__(self, idx):
+        res = self.t[self._unwrap(idx)]
+        return TorchArray(res, self._xp) if hasattr(res, "numel") else res
+
+    def __setitem__(self, idx, value) -> None:
+        self.t[self._unwrap(idx)] = self._unwrap(value)
+
+    def __len__(self) -> int:
+        return self.t.shape[0]
+
+    # -- host crossings (explicit via the backend; these are the escape hatch)
+    def item(self):
+        return self._xp.item(self)
+
+    def tolist(self) -> list:
+        return self._xp.tolist(self)
+
+    def __int__(self) -> int:
+        return int(self._xp.item(self))
+
+    def __bool__(self) -> bool:
+        if self.t.numel() != 1:
+            raise ValueError("truth value of a multi-element array is ambiguous")
+        return bool(self._xp.item(self))
+
+    # -- arithmetic / comparison ----------------------------------------------
+    def _binop(self, other, fn):
+        res = fn(self.t, self._unwrap(other))
+        return TorchArray(res, self._xp)
+
+    def __add__(self, o):
+        return self._binop(o, lambda a, b: a + b)
+
+    __radd__ = __add__
+
+    def __sub__(self, o):
+        return self._binop(o, lambda a, b: a - b)
+
+    def __rsub__(self, o):
+        return self._binop(o, lambda a, b: b - a)
+
+    def __mul__(self, o):
+        return self._binop(o, lambda a, b: a * b)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, o):
+        return self._binop(o, lambda a, b: a // b)
+
+    def __mod__(self, o):
+        return self._binop(o, lambda a, b: a % b)
+
+    def __neg__(self):
+        return TorchArray(-self.t, self._xp)
+
+    def __and__(self, o):
+        return self._binop(o, lambda a, b: a & b)
+
+    __rand__ = __and__
+
+    def __or__(self, o):
+        return self._binop(o, lambda a, b: a | b)
+
+    __ror__ = __or__
+
+    def __invert__(self):
+        return TorchArray(~self.t, self._xp)
+
+    def __iadd__(self, o):
+        self.t += self._unwrap(o)
+        return self
+
+    def __isub__(self, o):
+        self.t -= self._unwrap(o)
+        return self
+
+    def __imul__(self, o):
+        self.t *= self._unwrap(o)
+        return self
+
+    def __iand__(self, o):
+        self.t &= self._unwrap(o)
+        return self
+
+    def __ior__(self, o):
+        self.t |= self._unwrap(o)
+        return self
+
+    def __eq__(self, o):  # type: ignore[override]
+        return self._binop(o, lambda a, b: a == b)
+
+    def __ne__(self, o):  # type: ignore[override]
+        return self._binop(o, lambda a, b: a != b)
+
+    def __lt__(self, o):
+        return self._binop(o, lambda a, b: a < b)
+
+    def __le__(self, o):
+        return self._binop(o, lambda a, b: a <= b)
+
+    def __gt__(self, o):
+        return self._binop(o, lambda a, b: a > b)
+
+    def __ge__(self, o):
+        return self._binop(o, lambda a, b: a >= b)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    # -- reductions (host scalars, matching the mockgpu convention) -----------
+    def _reduce(self, fn, axis=None):
+        if axis is None:
+            return fn(self.t).item()
+        return TorchArray(fn(self.t, dim=axis), self._xp)
+
+    def min(self, axis=None):
+        if axis is None:
+            return self.t.min().item()
+        return TorchArray(self.t.min(dim=axis).values, self._xp)
+
+    def max(self, axis=None):
+        if axis is None:
+            return self.t.max().item()
+        return TorchArray(self.t.max(dim=axis).values, self._xp)
+
+    def sum(self, axis=None):
+        return self._reduce(self._xp.module.sum, axis)
+
+    def any(self, axis=None):
+        if axis is None:
+            return bool(self.t.any().item())
+        return TorchArray(self.t.any(dim=axis), self._xp)
+
+    def all(self, axis=None):
+        if axis is None:
+            return bool(self.t.all().item())
+        return TorchArray(self.t.all(dim=axis), self._xp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TorchArray({self.t!r})"
+
+
+class TorchBackend(ArrayBackend):
+    """Experimental device backend over PyTorch tensors."""
+
+    name = "torch"
+    is_device = True
+
+    def __init__(self, device: str | None = None) -> None:
+        try:
+            import torch  # noqa: PLC0415 - optional dependency probe
+        except Exception as exc:
+            raise BackendUnavailable(
+                f"torch backend unavailable: {exc!r}"
+            ) from exc
+        super().__init__(torch)
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self.device = torch.device(device)
+
+    def _torch_dtype(self, dtype):
+        torch = self.module
+        if dtype is None or isinstance(dtype, torch.dtype):
+            return dtype
+        npdt = np.dtype(dtype)
+        return {
+            "int64": torch.int64,
+            "int32": torch.int32,
+            "bool": torch.bool,
+            "float64": torch.float64,
+        }[npdt.name]
+
+    def _wrap(self, t) -> TorchArray:
+        return TorchArray(t, self)
+
+    @staticmethod
+    def _unwrap(x):
+        return TorchArray._unwrap(x)
+
+    # -- crossings -----------------------------------------------------------
+    def from_host(self, arr):
+        if isinstance(arr, TorchArray):
+            return arr
+        torch = self.module
+        host = np.ascontiguousarray(arr)
+        dev = torch.from_numpy(host).to(self.device, copy=True)
+        t = self.transfers
+        t.h2d_count += 1
+        t.h2d_bytes += int(host.nbytes)
+        return self._wrap(dev)
+
+    def to_host(self, arr):
+        if not isinstance(arr, TorchArray):
+            return np.asarray(arr)
+        t = self.transfers
+        t.d2h_count += 1
+        t.d2h_bytes += int(arr.nbytes)
+        return arr.t.cpu().numpy()
+
+    def item(self, x):
+        if isinstance(x, TorchArray):
+            t = self.transfers
+            t.d2h_count += 1
+            t.d2h_bytes += int(x.itemsize)
+            return x.t.item()
+        return x.item() if hasattr(x, "item") else x
+
+    def tolist(self, arr) -> list:
+        if isinstance(arr, TorchArray):
+            return self.to_host(arr).tolist()
+        return arr.tolist()
+
+    def synchronize(self) -> None:
+        if self.device.type == "cuda":
+            self.module.cuda.synchronize(self.device)
+
+    def device_info(self) -> dict[str, object]:
+        torch = self.module
+        if self.device.type == "cuda":
+            name = torch.cuda.get_device_name(self.device)
+        else:
+            name = "cpu"
+        return {
+            "backend": self.name,
+            "library": "torch",
+            "version": torch.__version__,
+            "device": name,
+        }
+
+    # -- creation ------------------------------------------------------------
+    def asarray(self, obj, dtype=None):
+        if isinstance(obj, TorchArray):
+            return obj.astype(dtype) if dtype is not None else obj
+        torch = self.module
+        t = torch.as_tensor(
+            np.asarray(obj, dtype=dtype), device=self.device
+        )
+        return self._wrap(t)
+
+    def empty(self, shape, dtype=None):
+        return self._wrap(
+            self.module.empty(shape, dtype=self._torch_dtype(dtype), device=self.device)
+        )
+
+    def zeros(self, shape, dtype=None):
+        return self._wrap(
+            self.module.zeros(shape, dtype=self._torch_dtype(dtype), device=self.device)
+        )
+
+    def ones(self, shape, dtype=None):
+        return self._wrap(
+            self.module.ones(shape, dtype=self._torch_dtype(dtype), device=self.device)
+        )
+
+    def full(self, shape, fill_value, dtype=None):
+        return self._wrap(
+            self.module.full(
+                shape, fill_value, dtype=self._torch_dtype(dtype), device=self.device
+            )
+        )
+
+    def arange(self, *args, dtype=None):
+        return self._wrap(
+            self.module.arange(
+                *args, dtype=self._torch_dtype(dtype), device=self.device
+            )
+        )
+
+    # -- combination ---------------------------------------------------------
+    def concatenate(self, arrays, axis=0):
+        return self._wrap(
+            self.module.cat([self._unwrap(a) for a in arrays], dim=axis)
+        )
+
+    def stack(self, arrays, axis=0):
+        return self._wrap(
+            self.module.stack([self._unwrap(a) for a in arrays], dim=axis)
+        )
+
+    def repeat(self, a, repeats, axis=None):
+        return self._wrap(
+            self.module.repeat_interleave(
+                self._unwrap(a), self._unwrap(repeats), dim=axis
+            )
+        )
+
+    def broadcast_to(self, a, shape):
+        return self._wrap(self.module.broadcast_to(self._unwrap(a), shape))
+
+    def where(self, cond, x=None, y=None):
+        if x is None and y is None:
+            return self._wrap(self.module.nonzero(self._unwrap(cond)).reshape(-1))
+        return self._wrap(
+            self.module.where(self._unwrap(cond), self._unwrap(x), self._unwrap(y))
+        )
+
+    def astype(self, arr, dtype, copy: bool = False):
+        if isinstance(arr, TorchArray):
+            return arr.astype(dtype, copy=copy)
+        return self.asarray(arr, dtype=dtype)
+
+    # -- sorting / searching ---------------------------------------------------
+    def argsort(self, a, stable: bool = True, axis: int = -1):
+        return self._wrap(self.module.argsort(self._unwrap(a), dim=axis, stable=stable))
+
+    def lexsort(self, keys):
+        # successive stable argsorts, least-significant key first —
+        # exactly np.lexsort's contract
+        ks = [self._unwrap(k) for k in keys]
+        order = self.module.argsort(ks[0], stable=True)
+        for k in ks[1:]:
+            order = order[self.module.argsort(k[order], stable=True)]
+        return self._wrap(order)
+
+    def sort(self, a, axis: int = -1):
+        return self._wrap(self.module.sort(self._unwrap(a), dim=axis).values)
+
+    def unique(self, a, **kwargs):
+        res = self.module.unique(self._unwrap(a), **kwargs)
+        if isinstance(res, tuple):
+            return tuple(self._wrap(r) for r in res)
+        return self._wrap(res)
+
+    def searchsorted(self, a, v, side: str = "left"):
+        return self._wrap(
+            self.module.searchsorted(
+                self._unwrap(a), self._unwrap(v), right=(side == "right")
+            )
+        )
+
+    def flatnonzero(self, a):
+        return self._wrap(self.module.nonzero(self._unwrap(a).reshape(-1)).reshape(-1))
+
+    # -- scans ---------------------------------------------------------------
+    def cumsum(self, a, axis=None):
+        t = self._unwrap(a)
+        if axis is None:
+            t = t.reshape(-1)
+            axis = 0
+        return self._wrap(self.module.cumsum(t, dim=axis))
+
+    def bincount(self, a, minlength: int = 0):
+        return self._wrap(self.module.bincount(self._unwrap(a), minlength=minlength))
+
+    # -- scatter -------------------------------------------------------------
+    def scatter(self, target, index, values) -> None:
+        torch = self.module
+        tgt = self._unwrap(target)
+        idx = self._unwrap(index)
+        val = self._unwrap(values)
+        if not torch.is_tensor(val):
+            val = torch.full_like(idx, val, dtype=tgt.dtype)
+        # callers guarantee disjoint indices, so non-accumulating
+        # index_put_ cannot race with itself
+        tgt.index_put_((idx,), val.to(tgt.dtype), accumulate=False)
+
+    def scatter_add(self, target, index, values) -> None:
+        torch = self.module
+        tgt = self._unwrap(target)
+        idx = self._unwrap(index)
+        val = self._unwrap(values)
+        if not torch.is_tensor(val):
+            val = torch.full_like(idx, val, dtype=tgt.dtype)
+        tgt.index_put_((idx,), val.to(tgt.dtype), accumulate=True)
+
+    def scatter_min(self, target, index, values) -> None:
+        tgt = self._unwrap(target)
+        tgt.scatter_reduce_(
+            0, self._unwrap(index), self._unwrap(values), reduce="amin"
+        )
+
+
+__all__ = ["TorchArray", "TorchBackend"]
