@@ -1,6 +1,6 @@
 """Static and simulation-time analyses for the LTPG reproduction.
 
-Three passes, mirroring what ``compute-sanitizer`` and a CUDA linter
+Four passes, mirroring what ``compute-sanitizer`` and a CUDA linter
 would give the real system:
 
 * :mod:`repro.analysis.sanitizer` — shadow access log with racecheck
@@ -10,6 +10,9 @@ would give the real system:
 * :mod:`repro.analysis.detlint` — determinism linter for stored
   procedures: a static AST pass rejecting nondeterminism sources plus a
   dynamic twin that replays procedures and diffs their op streams.
+* :mod:`repro.analysis.kernellint` — static backend-contract,
+  determinism, pickle-safety, and twin-drift analysis for the batched
+  procedure twins (``KLxxx`` rule codes, SARIF-ready findings).
 * :mod:`repro.analysis.passes` — workload-level runners behind
   ``python -m repro.analysis <pass> [--workload tpcc|ycsb|smallbank]``.
 
@@ -30,10 +33,18 @@ from repro.analysis.detlint import (
 )
 from repro.analysis.findings import (
     DETLINT,
+    KERNELLINT,
     MEMCHECK,
     RACECHECK,
     Finding,
     FindingReport,
+)
+from repro.analysis.kernellint import (
+    RULES,
+    lint_pickle_safety,
+    lint_registry_twins,
+    lint_twin_unit,
+    source_unit,
 )
 from repro.analysis.sanitizer import AccessKind, Sanitizer, ShadowBuffer
 
@@ -42,13 +53,19 @@ __all__ = [
     "DETLINT",
     "Finding",
     "FindingReport",
+    "KERNELLINT",
     "MEMCHECK",
     "RACECHECK",
+    "RULES",
     "Sanitizer",
     "ShadowBuffer",
+    "lint_pickle_safety",
     "lint_procedure",
     "lint_registry",
+    "lint_registry_twins",
     "lint_source",
+    "lint_twin_unit",
     "replay_procedure",
     "replay_transactions",
+    "source_unit",
 ]

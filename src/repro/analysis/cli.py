@@ -1,6 +1,6 @@
 """Command line driver: ``python -m repro.analysis <pass> [options]``.
 
-Passes: ``racecheck`` ``memcheck`` ``detlint`` ``all``.
+Passes: ``racecheck`` ``memcheck`` ``detlint`` ``kernellint`` ``all``.
 
 Exit-code conventions (shared with ``scripts/run_analysis.py``):
 
@@ -38,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "pass_name",
         metavar="pass",
-        choices=("racecheck", "memcheck", "detlint", "all"),
+        choices=("racecheck", "memcheck", "detlint", "kernellint", "all"),
         help="which analysis to run",
     )
     parser.add_argument(
@@ -60,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"transactions per batch (default: {DEFAULT_BATCH_SIZE})",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write the findings as a JSON document",
+    )
+    parser.add_argument(
+        "--sarif-out",
+        metavar="PATH",
+        default=None,
+        help="also write the findings as a SARIF 2.1.0 log",
+    )
     return parser
 
 
@@ -85,6 +97,13 @@ def main(argv: list[str] | None = None) -> int:
     for result in results:
         print(result.render())
         findings += len(result.report)
+    if args.json_out or args.sarif_out:
+        from repro.analysis import emit  # noqa: PLC0415 (optional output)
+
+        if args.json_out:
+            emit.write_json(args.json_out, results)
+        if args.sarif_out:
+            emit.write_sarif(args.sarif_out, results)
     return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 

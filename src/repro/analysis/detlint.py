@@ -212,11 +212,28 @@ def lint_procedure(proc_name: str, procedure: Callable[..., Any]) -> list[Findin
     return lint_source(proc_name, source)
 
 
-def lint_registry(registry: ProcedureRegistry) -> list[Finding]:
-    """Static scan over every procedure in a registry."""
+def lint_registry(
+    registry: ProcedureRegistry, include_batched: bool = True
+) -> list[Finding]:
+    """Static scan over every procedure in a registry.
+
+    Batched twins run the same determinism contract as their scalar
+    originals (the batched executor replays them for tie-breaking too),
+    so by default the scan also walks every ``register_batched`` twin,
+    reported under the subject ``"<name>[batched]"``.  Twins bound via
+    ``functools.partial`` (scale configuration) are unwrapped first.
+    """
     findings: list[Finding] = []
     for name in registry.names():
         findings.extend(lint_procedure(name, registry.get(name)))
+    if include_batched:
+        import functools  # noqa: PLC0415 (keep module deps light)
+
+        for name in registry.batched_names():
+            twin = registry.get_batched(name)
+            while isinstance(twin, functools.partial):
+                twin = twin.func
+            findings.extend(lint_procedure(f"{name}[batched]", twin))
     return findings
 
 

@@ -1,0 +1,154 @@
+"""Machine-readable emitters for analysis results.
+
+Two formats: a plain JSON dump of every finding (for scripting and the
+experiment logs) and SARIF 2.1.0 (for code-scanning upload from the CI
+``kernellint`` job).  Both accept the ``AnalysisResult`` list the pass
+runner returns, so one run can serve the console, the JSON log, and the
+SARIF artifact at once.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.findings import Finding
+from repro.analysis.kernellint import RULES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (passes -> emit)
+    from repro.analysis.passes import AnalysisResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-analysis"
+
+
+def _finding_to_json(finding: Finding) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "pass": finding.pass_name,
+        "kind": finding.kind,
+        "subject": finding.subject,
+        "message": finding.message,
+    }
+    if finding.kernel is not None:
+        out["kernel"] = finding.kernel
+    if finding.index is not None:
+        out["index"] = finding.index
+    if finding.threads is not None:
+        out["threads"] = list(finding.threads)
+    if finding.code is not None:
+        out["code"] = finding.code
+    if finding.file is not None:
+        out["file"] = finding.file
+    if finding.span is not None:
+        out["span"] = list(finding.span)
+    return out
+
+
+def results_to_json(results: list[AnalysisResult]) -> dict[str, Any]:
+    """One JSON document for a list of pass runs."""
+    return {
+        "tool": TOOL_NAME,
+        "runs": [
+            {
+                "pass": res.pass_name,
+                "workload": res.workload,
+                "clean": res.report.clean,
+                "summary": res.report.summary(),
+                "suppressed": res.report.suppressed,
+                "findings": [
+                    _finding_to_json(f) for f in res.report.findings
+                ],
+            }
+            for res in results
+        ],
+    }
+
+
+def _sarif_rules() -> list[dict[str, Any]]:
+    return [
+        {
+            "id": code,
+            "name": kind,
+            "shortDescription": {"text": kind},
+        }
+        for code, kind in sorted(RULES.items())
+    ]
+
+
+def _finding_to_sarif(finding: Finding) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.code or f"{finding.pass_name}/{finding.kind}",
+        "level": "error",
+        "message": {"text": f"{finding.subject}: {finding.message}"},
+    }
+    if finding.file is not None:
+        region: dict[str, Any] = {}
+        if finding.span is not None:
+            region = {
+                "startLine": finding.span[0],
+                "endLine": finding.span[1],
+            }
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.file},
+                    **({"region": region} if region else {}),
+                }
+            }
+        ]
+    return result
+
+
+def results_to_sarif(results: list[AnalysisResult]) -> dict[str, Any]:
+    """SARIF 2.1.0 log: one run per analysis invocation."""
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "properties": {
+                    "pass": res.pass_name,
+                    "workload": res.workload,
+                    "suppressed": res.report.suppressed,
+                },
+                "results": [
+                    _finding_to_sarif(f) for f in res.report.findings
+                ],
+            }
+            for res in results
+        ],
+    }
+
+
+def write_json(path: str, results: list[AnalysisResult]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results_to_json(results), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_sarif(path: str, results: list[AnalysisResult]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results_to_sarif(results), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+__all__ = [
+    "SARIF_SCHEMA",
+    "SARIF_VERSION",
+    "TOOL_NAME",
+    "results_to_json",
+    "results_to_sarif",
+    "write_json",
+    "write_sarif",
+]

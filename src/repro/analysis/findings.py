@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 RACECHECK = "racecheck"
 MEMCHECK = "memcheck"
 DETLINT = "detlint"
+KERNELLINT = "kernellint"
 
 
 @dataclass(frozen=True)
@@ -23,9 +24,13 @@ class Finding:
     """One defect reported by an analysis pass.
 
     ``subject`` names the shadow buffer (racecheck/memcheck) or the
-    stored procedure (detlint).  ``threads`` is the representative
-    conflicting thread pair for races; ``index`` the offending address
-    or source line.
+    stored procedure (detlint/kernellint).  ``threads`` is the
+    representative conflicting thread pair for races; ``index`` the
+    offending address or source line.  Static passes with a precise
+    source anchor additionally carry a stable rule ``code`` (kernellint
+    ``KLxxx``), the source ``file``, and a ``span`` of absolute
+    ``(start_line, end_line)`` — the fields the SARIF emitter maps onto
+    ``ruleId`` and ``physicalLocation``.
     """
 
     pass_name: str
@@ -35,10 +40,20 @@ class Finding:
     kernel: str | None = None
     index: int | None = None
     threads: tuple[int, int] | None = None
+    code: str | None = None
+    file: str | None = None
+    span: tuple[int, int] | None = None
 
     def describe(self) -> str:
         where = f" [kernel={self.kernel}]" if self.kernel else ""
-        return f"{self.pass_name}:{self.kind} {self.subject}{where}: {self.message}"
+        tag = f"[{self.code}] " if self.code else ""
+        loc = ""
+        if self.file is not None and self.span is not None:
+            loc = f" ({self.file}:{self.span[0]})"
+        return (
+            f"{self.pass_name}:{self.kind} {tag}{self.subject}{where}: "
+            f"{self.message}{loc}"
+        )
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""The three analysis passes, runnable from the CLI and from pytest.
+"""The four analysis passes, runnable from the CLI and from pytest.
 
 * ``racecheck`` / ``memcheck`` — run the LTPG engine over a workload
   with the sanitizer attached (``LTPGConfig.sanitize=True``); the three
@@ -6,6 +6,9 @@
   and the pass reports that pass's findings.
 * ``detlint`` — static AST lint over every registered procedure plus
   the dynamic replay twin over a generated transaction sample.
+* ``kernellint`` — static backend-contract, determinism, pickle-safety,
+  and twin-drift analysis over every registered batched twin (no engine
+  run; see :mod:`repro.analysis.kernellint`).
 """
 
 from __future__ import annotations
@@ -15,11 +18,13 @@ from dataclasses import dataclass, field
 from repro.analysis.detlint import lint_registry, replay_transactions
 from repro.analysis.findings import (
     DETLINT,
+    KERNELLINT,
     MEMCHECK,
     RACECHECK,
     Finding,
     FindingReport,
 )
+from repro.analysis.kernellint import lint_registry_twins
 from repro.analysis.workload import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_BATCHES,
@@ -28,7 +33,7 @@ from repro.analysis.workload import (
 )
 from repro.txn.batch import BatchScheduler
 
-PASS_NAMES = (RACECHECK, MEMCHECK, DETLINT)
+PASS_NAMES = (RACECHECK, MEMCHECK, DETLINT, KERNELLINT)
 
 
 @dataclass
@@ -146,6 +151,23 @@ def run_detlint(
     )
 
 
+def run_kernellint(
+    workload: str = "tpcc",
+    batches: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    seed: int = 7,
+) -> AnalysisResult:
+    """Static lint of every batched twin (no engine run; ``batches``
+    and ``batch_size`` are accepted for dispatch uniformity)."""
+    setup = build_workload(workload, seed=seed)
+    findings, twins, suppressed = lint_registry_twins(setup.registry)
+    return AnalysisResult(
+        KERNELLINT, workload,
+        FindingReport(findings, suppressed=suppressed),
+        procedures_checked=twins,
+    )
+
+
 def run_pass(
     pass_name: str,
     workload: str = "tpcc",
@@ -158,6 +180,7 @@ def run_pass(
         RACECHECK: run_racecheck,
         MEMCHECK: run_memcheck,
         DETLINT: run_detlint,
+        KERNELLINT: run_kernellint,
     }
     if pass_name == "all":
         return [

@@ -23,7 +23,7 @@ fresh per call so each engine owns an isolated transfer ledger.
 from __future__ import annotations
 
 from repro.errors import BackendError, BackendUnavailable
-from repro.xp.base import ArrayBackend, TransferStats
+from repro.xp.base import CONTRACT, ArrayBackend, BackendContract, TransferStats
 from repro.xp.mockgpu import MockGpuBackend
 from repro.xp.numpy_backend import NumpyBackend
 
@@ -109,7 +109,9 @@ def available_backends() -> tuple[str, ...]:
 __all__ = [
     "AUTO_ORDER",
     "BACKEND_NAMES",
+    "CONTRACT",
     "ArrayBackend",
+    "BackendContract",
     "MockGpuBackend",
     "NumpyBackend",
     "TransferStats",

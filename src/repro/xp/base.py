@@ -32,6 +32,63 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 
+@dataclass(frozen=True)
+class BackendContract:
+    """The machine-readable protocol surface of :class:`ArrayBackend`.
+
+    One source of truth for *both* enforcement layers: ``mockgpu``
+    builds its runtime interception (scalar-readback methods, kernel
+    dispatch accounting) from this object, and the static kernellint
+    pass (:mod:`repro.analysis.kernellint`) derives its allowed-call
+    set from the very same object — so the static and dynamic checkers
+    cannot drift apart.
+    """
+
+    #: The only sanctioned host<->device crossings.
+    crossings: tuple[str, ...]
+    #: Array methods whose no-axis form is a device reduce plus a
+    #: one-word readback (sanctioned, but accounted as D2H traffic).
+    scalar_readbacks: tuple[str, ...]
+    #: Kernel primitives: every one is a device dispatch.
+    kernels: tuple[str, ...]
+    #: Scatters safe under any apply order (commutative updates only).
+    commutative_scatters: tuple[str, ...]
+    #: Assignment scatters: callers must guarantee WAW-disjoint indices.
+    assign_scatters: tuple[str, ...]
+    #: Non-kernel helpers backends expose (documentation/sync no-ops).
+    auxiliary: tuple[str, ...]
+    #: The dtype discipline of the hot path (results must never be
+    #: floating; see mockgpu's upcast detector).
+    dtype: str = "int64"
+
+    def all_methods(self) -> frozenset[str]:
+        """Every method name a disciplined call site may use on ``xp``."""
+        return frozenset(self.crossings + self.kernels + self.auxiliary)
+
+
+#: The pinned protocol surface (see the module docstring for the
+#: conventions each group must honor).
+CONTRACT = BackendContract(
+    crossings=("from_host", "to_host", "item", "tolist"),
+    scalar_readbacks=("min", "max", "sum", "any", "all"),
+    kernels=(
+        "asarray", "empty", "zeros", "ones", "full", "arange",
+        "concatenate", "stack", "repeat", "broadcast_to", "where",
+        "astype",
+        "argsort", "lexsort", "sort", "unique", "searchsorted",
+        "flatnonzero",
+        "cumsum", "bincount",
+        "scatter", "scatter_add", "scatter_min",
+    ),
+    commutative_scatters=("scatter_add", "scatter_min"),
+    assign_scatters=("scatter",),
+    auxiliary=(
+        "kernel_phase", "synchronize", "device_info",
+        "transfer_stats", "reset_transfers",
+    ),
+)
+
+
 @dataclass
 class TransferStats:
     """Host<->device traffic ledger for one backend instance.
@@ -165,4 +222,4 @@ class ArrayBackend:
         raise NotImplementedError
 
 
-__all__ = ["ArrayBackend", "TransferStats"]
+__all__ = ["CONTRACT", "ArrayBackend", "BackendContract", "TransferStats"]

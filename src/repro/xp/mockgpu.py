@@ -37,7 +37,7 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.errors import BackendContractError
-from repro.xp.base import ArrayBackend
+from repro.xp.base import CONTRACT, ArrayBackend
 
 
 def _make_device_class(backend: "MockGpuBackend") -> type:
@@ -109,7 +109,9 @@ def _make_device_class(backend: "MockGpuBackend") -> type:
         "__iter__": __iter__,
         "__getitem__": __getitem__,
     }
-    for name in ("min", "max", "sum", "any", "all"):
+    # the sanctioned scalar-readback set comes from the shared contract
+    # (the same object kernellint checks against statically)
+    for name in CONTRACT.scalar_readbacks:
         members[name] = _reduction(name)
     return type("MockDeviceArray", (np.ndarray,), members)
 

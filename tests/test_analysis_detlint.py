@@ -201,3 +201,44 @@ def test_replay_logic_abort_is_deterministic():
     aborts are not divergence."""
     db, registry = build_bank()
     assert replay_procedure(db, "bad", registry.get("bad"), (1,)) == []
+
+
+# ---------------------------------------------------------------------------
+# Registry scan covers batched twins
+# ---------------------------------------------------------------------------
+def _clean_scalar(ctx, key):
+    ctx.write("t", key, "a", 1)
+
+
+def _random_twin(bctx, params):
+    import random as _random
+
+    return _random.random()
+
+
+def test_lint_registry_walks_batched_twins():
+    registry = ProcedureRegistry()
+    registry.register("noisy", _clean_scalar)
+    registry.register_batched("noisy", _random_twin)
+    findings = lint_registry(registry)
+    batched = [f for f in findings if f.subject == "noisy[batched]"]
+    assert batched, "batched twin was not scanned"
+    assert any(f.kind == "nondeterministic-module" for f in batched)
+    # the scalar-only scan remains available (and is clean here)
+    assert lint_registry(registry, include_batched=False) == []
+
+
+def test_lint_registry_unwraps_partial_bound_twins():
+    import functools
+
+    registry = ProcedureRegistry()
+    registry.register("cfg", _clean_scalar)
+    # tpcc binds its scale through functools.partial at registration;
+    # the scan must see through the wrapper to the twin's source
+    registry.register_batched("cfg", functools.partial(_random_twin))
+    findings = lint_registry(registry)
+    assert any(
+        f.subject == "cfg[batched]"
+        and f.kind == "nondeterministic-module"
+        for f in findings
+    )

@@ -63,7 +63,7 @@ def test_memcheck_clean(workload):
 @pytest.mark.analysis
 def test_run_all_passes_clean_on_ycsb():
     results = run_pass("all", workload="ycsb", batches=1, batch_size=256)
-    assert len(results) == 3
+    assert len(results) == 4
     for result in results:
         assert result.clean, result.render()
 

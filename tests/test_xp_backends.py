@@ -352,3 +352,59 @@ def test_nested_kernel_phases_fold_into_the_outer_region():
     assert xp.phase is None
     kinds = [e for e in xp.transfer_stats().events if e[0] == "phase"]
     assert kinds == [("phase", "begin:execute"), ("phase", "end:execute")]
+
+
+# ---------------------------------------------------------------------------
+# The exported BackendContract: one source of truth for mockgpu (runtime)
+# and kernellint (static)
+# ---------------------------------------------------------------------------
+def test_contract_surface_is_implemented_by_backends():
+    from repro.xp import CONTRACT
+
+    for name in ("numpy", "mockgpu"):
+        backend = get_backend(name)
+        for method in sorted(CONTRACT.all_methods()):
+            assert callable(getattr(backend, method)), (
+                f"{name} backend missing contract method {method!r}"
+            )
+
+
+def test_contract_groups_are_consistent():
+    from repro.xp import CONTRACT
+
+    kernels = set(CONTRACT.kernels)
+    assert set(CONTRACT.commutative_scatters) <= kernels
+    assert set(CONTRACT.assign_scatters) <= kernels
+    assert not (set(CONTRACT.crossings) & kernels)
+    assert CONTRACT.dtype == "int64"
+
+
+def test_mockgpu_scalar_readbacks_come_from_contract():
+    # every contract readback is a sanctioned one-word D2H on a device
+    # array: legal inside a kernel phase, and accounted on the ledger
+    from repro.xp import CONTRACT
+
+    xp = get_backend("mockgpu")
+    arr = xp.from_host(np.arange(8, dtype=np.int64))
+    xp.reset_transfers()
+    with xp.kernel_phase("execute"):
+        for i, name in enumerate(CONTRACT.scalar_readbacks):
+            assert hasattr(arr, name), f"DeviceArray missing {name!r}"
+            getattr(arr, name)()
+            assert xp.transfer_stats().d2h_count == i + 1
+    assert xp.transfer_stats().implicit_syncs == 0
+
+
+def test_kernellint_allowed_calls_match_contract():
+    # the static linter's allow-set is derived from the same CONTRACT
+    # object mockgpu enforces at runtime — they cannot drift apart
+    from repro.analysis import kernellint
+    from repro.xp import CONTRACT
+
+    assert CONTRACT.all_methods() <= kernellint._ALLOWED_XP
+    assert set(CONTRACT.scalar_readbacks) == set(
+        kernellint._SCALAR_READBACKS
+    )
+    assert set(CONTRACT.crossings) - {"from_host"} == set(
+        kernellint._XP_TO_HOST
+    )
