@@ -271,6 +271,71 @@ def check_backend(backend: str | None, rounds: int = DEFAULT_ROUNDS) -> int:
     return 0
 
 
+#: Serve gate tolerance: measured p99 may exceed the committed baseline
+#: by at most this factor (and goodput may fall below baseline by it).
+#: Serve numbers are virtual-clock and deterministic — identical code
+#: reproduces the baseline *exactly* on any host — so unlike the
+#: wall-clock gates the headroom only absorbs deliberate cost-model
+#: changes, not machine noise.  A trip means either a real serving
+#: regression or an intentional change that should regenerate the
+#: baseline (python -m repro.bench serve).
+SERVE_FACTOR = 1.25
+
+
+def check_serve(
+    baseline_path: str, factor: float = SERVE_FACTOR
+) -> int:
+    """Gate end-to-end serve latency: re-run the gate cell (hybrid
+    policy on TPC-C, open loop, virtual clock) and hold p99 latency and
+    goodput to the committed ``BENCH_serve.json`` within ``factor``."""
+    from repro.bench import serve
+
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        base = next(
+            r for r in baseline["rows"]
+            if r["workload"] == serve.GATE_WORKLOAD
+            and r["policy"] == serve.GATE_POLICY
+        )
+    except (OSError, KeyError, StopIteration):
+        print(
+            f"error: {baseline_path} has no "
+            f"({serve.GATE_WORKLOAD}, {serve.GATE_POLICY}) row; regenerate "
+            "it with: python -m repro.bench serve"
+        )
+        return 2
+    requests = baseline.get("meta", {}).get("requests_per_cell", 512)
+    row = serve.measure_cell(
+        serve.GATE_WORKLOAD, serve.GATE_POLICY, requests=requests
+    )
+    p99_limit = base["p99_us"] * factor
+    goodput_floor = base["goodput_mtps"] / factor
+    p99_ok = row["p99_us"] <= p99_limit
+    goodput_ok = row["goodput_mtps"] >= goodput_floor
+    status = "OK" if p99_ok and goodput_ok else "FAIL"
+    print(
+        f"serve p99 ({serve.GATE_WORKLOAD}/{serve.GATE_POLICY}, "
+        f"{requests} reqs): measured {row['p99_us']:.1f} us, baseline "
+        f"{base['p99_us']:.1f} us, limit {p99_limit:.1f} us "
+        f"(x{factor:.2f}) -> {'OK' if p99_ok else 'FAIL'}"
+    )
+    print(
+        f"serve goodput: measured {row['goodput_mtps']:.4f} Mtps, "
+        f"baseline {base['goodput_mtps']:.4f} Mtps, floor "
+        f"{goodput_floor:.4f} Mtps -> {'OK' if goodput_ok else 'FAIL'}"
+    )
+    if status == "FAIL":
+        print(
+            "end-to-end serve latency/goodput regressed vs the committed "
+            "BENCH_serve.json (virtual clock: this is deterministic, not "
+            "noise); if the change is intentional, regenerate the "
+            "baseline with: python -m repro.bench serve"
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -319,9 +384,25 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the array-backend contract gate",
     )
     parser.add_argument(
+        "--serve-baseline",
+        default=os.path.join(root, "BENCH_serve.json"),
+        help="serve baseline JSON (default: the committed BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--serve-factor", type=float, default=SERVE_FACTOR,
+        help="fail when serve p99 > baseline * this or goodput < "
+        f"baseline / this (default {SERVE_FACTOR}; virtual-clock, "
+        "so deterministic on any host)",
+    )
+    parser.add_argument(
+        "--skip-serve", action="store_true",
+        help="skip the end-to-end serve latency gate",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="skip the machine-dependent wall-clock gates and run only "
-        "the backend gate at reduced rounds (the CI configuration)",
+        "the backend + serve gates at reduced rounds (the CI "
+        "configuration; both are machine-independent)",
     )
     args = parser.parse_args(argv)
     rc = 0
@@ -333,6 +414,8 @@ def main(argv: list[str] | None = None) -> int:
             rc = check_parallel(args.rounds, args.parallel_floor)
     if rc == 0 and not args.skip_backend:
         rc = check_backend(args.backend, 2 if args.quick else args.rounds)
+    if rc == 0 and not args.skip_serve:
+        rc = check_serve(args.serve_baseline, args.serve_factor)
     return rc
 
 

@@ -13,6 +13,7 @@ from repro.bench import (
     fig6,
     fig7,
     fullmix,
+    serve,
     sweep,
     table2,
     table3,
@@ -37,6 +38,7 @@ __all__ = [
     "fig6",
     "fig7",
     "fullmix",
+    "serve",
     "sweep",
     "table2",
     "table3",

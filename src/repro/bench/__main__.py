@@ -1,7 +1,7 @@
 """Command-line driver: ``python -m repro.bench <experiment> [options]``.
 
 Experiments: table2 table3 table4 table5 table6 table7 table8 table9
-fig6a fig6b fig7 ablations fullmix sweep calibration wallclock all.
+fig6a fig6b fig7 ablations fullmix sweep calibration wallclock serve all.
 
 ``--scale N`` divides batch and item-table sizes by N (contention
 ratios are preserved; see EXPERIMENTS.md).  ``--scale 1`` reproduces
@@ -20,6 +20,7 @@ from repro.bench import (
     fig6,
     fig7,
     fullmix,
+    serve,
     sweep,
     table2,
     table3,
@@ -54,6 +55,9 @@ def _runners(scale: float, rounds: int, backend: str | None = None):
         "wallclock": lambda: wallclock.run_and_write(
             scale=scale, rounds=rounds, backend=backend
         ),
+        # End-to-end client latency through the async ingress (virtual
+        # clock, deterministic); writes BENCH_serve.json.
+        "serve": lambda: serve.run_and_write(scale=scale, rounds=rounds),
     }
 
 
@@ -61,7 +65,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
     )
-    parser.add_argument("experiment", help="table2..table9, fig6a, fig6b, fig7, ablations, fullmix, sweep, calibration, wallclock, all")
+    parser.add_argument("experiment", help="table2..table9, fig6a, fig6b, fig7, ablations, fullmix, sweep, calibration, wallclock, serve, all")
     parser.add_argument(
         "--scale",
         type=float,

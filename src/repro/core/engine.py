@@ -211,6 +211,33 @@ class LTPGEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def reset_run_state(self) -> None:
+        """Rewind every run-scoped clock and counter so the next batch
+        starts a fresh timeline at ``t=0``.
+
+        The ``Profiler.reset`` clock-hygiene contract, extended to the
+        whole engine: stream clocks + profiler history (via
+        :meth:`Device.reset_clock`), tracer spans, the metrics registry,
+        the batch counter (span/stat names embed batch indices), the
+        batch log and last-batch observability scratch.  Database state,
+        procedure caches, worker pools and device allocations survive —
+        they model persistent state, not run history.  Back-to-back
+        serve runs reset through here must produce bit-identical traces
+        (pinned by ``tests/test_trace_observability.py``).
+        """
+        self.device.reset_clock()
+        if self.tracer is not None:
+            self.tracer.reset()
+        if self.metrics is not None:
+            self.metrics.reset()
+        self._batch_counter = 0
+        self.batch_log = BatchLog()
+        self.last_host_phase_s = {}
+        self._last_groups = []
+        self._last_shards = []
+        self._last_merge_s = 0.0
+        self._last_transfers = {}
+
     def _ensure_pool(self):
         """The lazily-created worker pool, rebuilt if the procedure
         registry changed since the pool pickled its twins."""

@@ -1,0 +1,94 @@
+"""Typed errors of the serving layer (:mod:`repro.serve`).
+
+Admission control communicates *why* a request was shed through the
+exception type, not a string: clients (and the backpressure tests)
+dispatch on :class:`QueueFullRejected` vs :class:`TenantThrottled`
+rather than parsing messages.  Everything derives from
+:class:`ServeError` -> :class:`~repro.errors.ReproError`, so existing
+"catch library failures" handlers keep working.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for ingress/orchestrator failures."""
+
+
+class VirtualTimeDeadlock(ServeError):
+    """Raised by the virtual-time event loop when every task is blocked
+    on something that can never happen in simulated time (a future no
+    scheduled callback will ever resolve).  A real-time loop would hang
+    forever here; the virtual loop turns the hang into a diagnosis."""
+
+
+class IngressClosed(ServeError):
+    """Raised when a request is submitted after the session closed its
+    ingress (drain in progress or completed)."""
+
+
+class AdmissionRejected(ServeError):
+    """Base class for admission-control sheds.
+
+    Attributes carry the decision context so clients can implement
+    typed backoff policies without string parsing.
+    """
+
+    #: short machine-readable reason, also used as the metrics label
+    reason: str = "rejected"
+
+    def __init__(self, message: str, *, tenant: str, queue_depth: int):
+        super().__init__(message)
+        self.tenant = tenant
+        self.queue_depth = queue_depth
+
+
+class QueueFullRejected(AdmissionRejected):
+    """The bounded ingress queue is at capacity; the request was shed."""
+
+    reason = "queue_full"
+
+    def __init__(self, *, tenant: str, queue_depth: int, max_depth: int):
+        super().__init__(
+            f"ingress queue full ({queue_depth}/{max_depth}); request from "
+            f"tenant {tenant!r} shed",
+            tenant=tenant,
+            queue_depth=queue_depth,
+        )
+        self.max_depth = max_depth
+
+
+class TenantThrottled(AdmissionRejected):
+    """The tenant's token bucket is empty; the request was shed before
+    it could crowd out other tenants' queue capacity."""
+
+    reason = "tenant_throttled"
+
+    def __init__(
+        self, *, tenant: str, queue_depth: int, retry_after_ns: int
+    ):
+        super().__init__(
+            f"tenant {tenant!r} throttled (token bucket empty; next token "
+            f"in {retry_after_ns} ns)",
+            tenant=tenant,
+            queue_depth=queue_depth,
+        )
+        #: virtual-clock nanoseconds until the bucket refills one token
+        self.retry_after_ns = retry_after_ns
+
+
+class BatchExecutionError(ServeError):
+    """The engine raised while executing the batch this request was cut
+    into.  The orchestrator fails every future of the affected batch
+    with one of these (cause preserved) and keeps serving later
+    batches."""
+
+    def __init__(self, batch_index: int, cause: BaseException):
+        super().__init__(
+            f"engine failed while executing serve batch {batch_index}: "
+            f"{cause!r}"
+        )
+        self.batch_index = batch_index
+        self.cause = cause

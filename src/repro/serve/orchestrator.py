@@ -1,0 +1,376 @@
+"""Transport-agnostic serving core: queue -> policy cut -> engine batch.
+
+The :class:`Orchestrator` is the seam between a live stream of
+single-transaction requests and the batch engine.  It owns:
+
+* the ingress queue — the *same* :class:`~repro.txn.batch.BatchScheduler`
+  the pre-generated benchmark runners drive, so TID assignment, retry
+  ordering (original TIDs first — Aria's starvation-freedom argument)
+  and pipeline retry delays are identical between served and
+  pre-assembled streams;
+* one batch-forming loop task that waits on arrivals/policy deadlines,
+  cuts batches via the pluggable :class:`~repro.serve.policies
+  .BatchPolicy`, runs them through ``engine.run_batch`` and advances the
+  virtual clock by each batch's *simulated* latency;
+* per-request futures: committed / logic-aborted requests resolve with a
+  :class:`ServeResponse` carrying the full latency breakdown;
+  concurrency-control aborts re-enter the ingress queue transparently
+  (the client just sees a longer wait and ``attempts > 1``).
+
+Admission control runs synchronously at :meth:`Orchestrator.post` time —
+sheds raise typed errors before a future is ever created, so rejected
+requests cannot leak resources or deadlock a drain.
+
+Everything observable — responses, metrics, spans, the recorded batch
+compositions — is a deterministic function of the arrival trace on the
+virtual clock; ``tests/test_serve_equivalence.py`` leans on that to
+replay a served schedule as pre-assembled batches and demand
+byte-identical final database state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.stats import RunStats
+from repro.serve.admission import AdmissionController
+from repro.serve.clock import SimClock
+from repro.serve.errors import BatchExecutionError, IngressClosed
+from repro.serve.policies import BatchPolicy, QueueView, SizePolicy
+from repro.trace.metrics import LatencyDigest, MetricsRegistry
+from repro.txn.batch import BatchScheduler
+from repro.txn.transaction import Transaction, TxnStatus
+
+#: Tracer track names for the serve layer (virtual-clock timestamps).
+SERVE_BATCH_TRACK = "serve.batches"
+SERVE_QUEUE_COUNTER = "serve.queue_depth"
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """What a client gets back for one admitted request."""
+
+    status: TxnStatus
+    tid: int
+    attempts: int
+    abort_reason: str
+    #: virtual-clock timestamps of the request lifecycle
+    submit_ns: int
+    first_cut_ns: int
+    done_ns: int
+
+    @property
+    def queue_wait_ns(self) -> int:
+        """Time from submission to joining the *first* batch."""
+        return self.first_cut_ns - self.submit_ns
+
+    @property
+    def service_ns(self) -> int:
+        """Time from first batch membership to the final verdict
+        (includes retry rounds for rescheduled transactions)."""
+        return self.done_ns - self.first_cut_ns
+
+    @property
+    def latency_ns(self) -> int:
+        """End-to-end client latency: queue wait + batch residency."""
+        return self.done_ns - self.submit_ns
+
+    @property
+    def committed(self) -> bool:
+        return self.status is TxnStatus.COMMITTED
+
+
+@dataclass
+class _Request:
+    """Book-keeping for one admitted request."""
+
+    seq: int
+    txn: Transaction
+    tenant: str
+    submit_ns: int
+    #: when it (re-)entered the ingress queue — retries refresh this
+    enqueue_ns: int
+    future: asyncio.Future
+    first_cut_ns: int | None = None
+
+
+@dataclass
+class BatchRecord:
+    """One cut batch, as the equivalence tests replay it."""
+
+    index: int
+    cut_ns: int
+    done_ns: int
+    #: (request seq, tid) per member, in batch order
+    members: list[tuple[int, int]] = field(default_factory=list)
+
+
+class Orchestrator:
+    """The serving core; see the module docstring for the dataflow."""
+
+    def __init__(
+        self,
+        engine: Any,
+        policy: BatchPolicy | None = None,
+        admission: AdmissionController | None = None,
+        clock: SimClock | None = None,
+    ):
+        self.engine = engine
+        self.policy = policy or SizePolicy(engine.config.batch_size)
+        self.admission = admission or AdmissionController()
+        self.clock = clock or SimClock()
+        #: per-run observability: always-on registry (cheap plain ints)
+        self.metrics = MetricsRegistry()
+        self.run_stats = RunStats()
+        self.latency = LatencyDigest("serve.latency_ns")
+        self.queue_wait = LatencyDigest("serve.queue_wait_ns")
+        self.batch_records: list[BatchRecord] = []
+
+        self._scheduler = BatchScheduler(
+            self.policy.capacity,
+            retry_delay_batches=engine.config.effective_retry_delay,
+        )
+        self._queued: dict[int, _Request] = {}
+        self._by_txn: dict[int, _Request] = {}
+        self._next_seq = 0
+        self._arrival: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        """Start the batch-forming loop (idempotent; needs a running
+        event loop)."""
+        if self._task is None:
+            self._arrival = asyncio.Event()
+            self._task = asyncio.get_running_loop().create_task(
+                self._batch_loop(), name="serve-batch-loop"
+            )
+
+    async def drain(self) -> None:
+        """Close the ingress, flush every queued request (policies cut
+        partial batches while draining) and stop the loop task."""
+        self._closed = True
+        if self._task is None:
+            return
+        assert self._arrival is not None
+        self._arrival.set()
+        await self._task
+        self._task = None
+
+    async def __aenter__(self) -> "Orchestrator":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.drain()
+
+    # -- ingress -------------------------------------------------------
+    def post(
+        self, procedure: str, params: tuple, tenant: str = "default"
+    ) -> asyncio.Future:
+        """Admit one request; returns the future of its
+        :class:`ServeResponse`.
+
+        Raises a typed :class:`~repro.serve.errors.AdmissionRejected`
+        subclass synchronously when the request is shed, and
+        :class:`IngressClosed` after :meth:`drain` began.
+        """
+        if self._closed:
+            raise IngressClosed("ingress is closed; request not admitted")
+        self.start()
+        now = self.clock.now_ns()
+        try:
+            self.admission.admit(tenant, len(self._queued), now)
+        except Exception:
+            self.metrics.counter("serve.shed").inc()
+            raise
+        txn = Transaction(procedure, tuple(params))
+        request = _Request(
+            seq=self._next_seq,
+            txn=txn,
+            tenant=tenant,
+            submit_ns=now,
+            enqueue_ns=now,
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._next_seq += 1
+        self._scheduler.admit([txn])
+        self._queued[request.seq] = request
+        self._by_txn[id(txn)] = request
+        self.metrics.counter("serve.submitted").inc()
+        assert self._arrival is not None
+        self._arrival.set()
+        return request.future
+
+    async def submit(
+        self, procedure: str, params: tuple, tenant: str = "default"
+    ) -> ServeResponse:
+        """Admit one request and await its response (closed-loop API)."""
+        return await self.post(procedure, params, tenant)
+
+    # -- introspection -------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted (or awaiting retry) but not yet batched."""
+        return len(self._queued)
+
+    def _view(self, draining: bool) -> QueueView:
+        eligible = min(
+            self._scheduler.eligible_backlog, self.policy.capacity
+        )
+        oldest = None
+        if self._queued:
+            oldest = min(r.enqueue_ns for r in self._queued.values())
+        return QueueView(
+            eligible=eligible,
+            oldest_enqueue_ns=oldest,
+            now_ns=self.clock.now_ns(),
+            draining=draining,
+        )
+
+    # -- the batch-forming loop ----------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._arrival is not None
+        while True:
+            if not await self._wait_for_cut():
+                return
+            await self._run_one_batch()
+
+    async def _wait_for_cut(self) -> bool:
+        """Block until a batch should be cut; False = drained, stop."""
+        assert self._arrival is not None
+        while True:
+            if (
+                self._scheduler.eligible_backlog == 0
+                and self._scheduler.backlog > 0
+            ):
+                # Only pipeline-delayed retries remain: cut (a possibly
+                # empty batch) to advance the batch index they are
+                # waiting on — mirrors what the pre-generated runner's
+                # fixed batch cadence does implicitly.
+                return True
+            view = self._view(draining=self._closed)
+            if view.eligible > 0 and self.policy.should_cut(view):
+                return True
+            if self._closed and self._scheduler.backlog == 0:
+                return False
+            deadline = (
+                self.policy.next_deadline_ns(view)
+                if view.eligible > 0
+                else None
+            )
+            self._arrival.clear()
+            if deadline is None:
+                await self._arrival.wait()
+            elif deadline <= view.now_ns:
+                # numeric guard: a deadline that just passed must cut on
+                # the re-check, not busy-wait
+                await asyncio.sleep(0)
+            else:
+                try:
+                    await asyncio.wait_for(
+                        self._arrival.wait(),
+                        timeout=(deadline - view.now_ns) * 1e-9,
+                    )
+                except asyncio.TimeoutError:
+                    pass
+
+    async def _run_one_batch(self) -> None:
+        cut_ns = self.clock.now_ns()
+        batch = self._scheduler.next_batch()
+        record = BatchRecord(
+            index=len(self.batch_records), cut_ns=cut_ns, done_ns=cut_ns
+        )
+        for txn in batch:
+            request = self._by_txn[id(txn)]
+            del self._queued[request.seq]
+            if request.first_cut_ns is None:
+                request.first_cut_ns = cut_ns
+            record.members.append((request.seq, txn.tid))
+        self.batch_records.append(record)
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch_size").observe(len(batch))
+        self.metrics.gauge("serve.queue_depth").set(len(self._queued))
+        if not batch:
+            # index-advancing empty cut (retry pipeline delay)
+            self.engine.run_batch(batch)
+            return
+
+        try:
+            result = self.engine.run_batch(batch)
+        except Exception as exc:
+            self._fail_batch(record, batch, exc)
+            return
+        # Simulated execution time passes on the virtual clock while the
+        # device "runs" the batch; fresh arrivals keep queueing.
+        await self.clock.sleep_ns(round(result.stats.latency_ns))
+        done_ns = self.clock.now_ns()
+        record.done_ns = done_ns
+        self.run_stats.add(result.stats)
+
+        self._scheduler.requeue_aborted(result.aborted)
+        for txn in result.aborted:
+            request = self._by_txn[id(txn)]
+            request.enqueue_ns = done_ns
+            self._queued[request.seq] = request
+            self.metrics.counter("serve.retries").inc()
+        for txn in result.committed:
+            self._resolve(txn, done_ns)
+            self.metrics.counter("serve.committed").inc()
+        for txn in result.logic_aborted:
+            self._resolve(txn, done_ns)
+            self.metrics.counter("serve.logic_aborted").inc()
+
+        tracer = getattr(self.engine, "tracer", None)
+        if tracer is not None:
+            tracer.async_span(
+                f"serve.batch[{record.index}]",
+                id=record.index,
+                start_ns=float(cut_ns),
+                end_ns=float(done_ns),
+                track=SERVE_BATCH_TRACK,
+                cat="serve",
+                args={
+                    "size": len(batch),
+                    "committed": result.stats.committed,
+                    "aborted": result.stats.aborted,
+                },
+            )
+            tracer.counter(
+                SERVE_QUEUE_COUNTER, float(done_ns), depth=len(self._queued)
+            )
+
+    def _resolve(self, txn: Transaction, done_ns: int) -> None:
+        request = self._by_txn.pop(id(txn))
+        assert request.first_cut_ns is not None
+        response = ServeResponse(
+            status=txn.status,
+            tid=txn.tid,
+            attempts=txn.attempts,
+            abort_reason=txn.abort_reason,
+            submit_ns=request.submit_ns,
+            first_cut_ns=request.first_cut_ns,
+            done_ns=done_ns,
+        )
+        self.latency.observe(response.latency_ns)
+        self.queue_wait.observe(response.queue_wait_ns)
+        self.metrics.histogram("serve.latency_us_pow2").observe(
+            1 << max(response.latency_ns // 1000, 1).bit_length()
+        )
+        if not request.future.done():
+            request.future.set_result(response)
+
+    def _fail_batch(
+        self, record: BatchRecord, batch: list[Transaction], exc: Exception
+    ) -> None:
+        """Engine blew up mid-batch: fail exactly this batch's futures
+        (cause preserved) and keep the ingress loop alive."""
+        self.metrics.counter("serve.batch_failures").inc()
+        error = BatchExecutionError(record.index, exc)
+        for txn in batch:
+            request = self._by_txn.pop(id(txn), None)
+            if request is not None and not request.future.done():
+                request.future.set_exception(error)

@@ -1,0 +1,161 @@
+"""Simulated client populations driving the ingress.
+
+Two arrival disciplines, both standard in the GPU-transaction-engine
+evaluations this repo reproduces:
+
+* **open loop** — requests arrive on an exogenous schedule (Poisson or
+  fixed-rate) regardless of completions; the honest way to measure
+  latency under a target load, because a slow server cannot slow its
+  own arrival process down.
+* **closed loop** — N sessions each submit, await the response, think,
+  repeat; models a bounded client population and self-throttles.
+
+Logical users are drawn Zipf-skewed from a population of millions
+without materializing them: each request samples a user rank, and the
+user's tenant is derived from the rank.  Everything draws from one
+seeded ``numpy`` generator on the virtual clock, so a (seed, config)
+pair names one exact arrival trace — replaying it is what the
+determinism tests do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+import numpy as np
+
+from repro.serve.errors import AdmissionRejected, IngressClosed
+from repro.txn.transaction import Transaction
+from repro.workloads.rand import ZipfGenerator
+
+
+class _Generator(Protocol):
+    def make_batch(self, size: int) -> list[Transaction]: ...
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """Shape of the simulated client population."""
+
+    #: logical user population (paper-scale default: two million)
+    num_users: int = 1 << 21
+    #: Zipf exponent of per-user request frequency
+    zipf_alpha: float = 1.1
+    #: tenants the users are striped across (admission-control unit)
+    tenants: int = 4
+    seed: int = 11
+
+
+class RequestSource:
+    """Draws ``(procedure, params, tenant, user)`` request specs.
+
+    Transaction bodies come from an existing workload generator (TPC-C,
+    YCSB, SmallBank — anything with ``make_batch``); the user/tenant
+    dimension is layered on top for admission control and skew.
+    """
+
+    def __init__(self, generator: _Generator, profile: ClientProfile):
+        self._generator = generator
+        self.profile = profile
+        self._zipf = ZipfGenerator(profile.num_users, profile.zipf_alpha)
+        self._rng = np.random.default_rng(profile.seed)
+
+    def next_request(self) -> tuple[str, tuple, str, int]:
+        txn = self._generator.make_batch(1)[0]
+        user = self._zipf.sample_one(self._rng)
+        tenant = f"tenant{user % self.profile.tenants}"
+        return txn.procedure_name, txn.params, tenant, user
+
+
+@dataclass
+class ClientStats:
+    """What the drivers observed (the orchestrator's report merges it)."""
+
+    submitted: int = 0
+    shed: int = 0
+    shed_by_reason: dict[str, int] | None = None
+    failed: int = 0
+
+    def record_shed(self, exc: AdmissionRejected) -> None:
+        self.shed += 1
+        if self.shed_by_reason is None:
+            self.shed_by_reason = {}
+        self.shed_by_reason[exc.reason] = (
+            self.shed_by_reason.get(exc.reason, 0) + 1
+        )
+
+
+async def open_loop(
+    orchestrator: Any,
+    source: RequestSource,
+    *,
+    num_requests: int,
+    rate_per_s: float,
+    poisson: bool = True,
+    rng_seed: int = 23,
+) -> ClientStats:
+    """Open-loop driver: fire ``num_requests`` at ``rate_per_s`` mean
+    arrival rate (virtual time), fire-and-forget; sheds are counted,
+    admitted futures are gathered at the end so engine failures surface.
+    """
+    import asyncio
+
+    stats = ClientStats()
+    rng = np.random.default_rng(rng_seed)
+    mean_gap_ns = 1e9 / rate_per_s
+    futures = []
+    for _ in range(num_requests):
+        gap = rng.exponential(mean_gap_ns) if poisson else mean_gap_ns
+        await orchestrator.clock.sleep_ns(round(gap))
+        procedure, params, tenant, _user = source.next_request()
+        try:
+            futures.append(orchestrator.post(procedure, params, tenant))
+            stats.submitted += 1
+        except AdmissionRejected as exc:
+            stats.record_shed(exc)
+    await orchestrator.drain()
+    outcomes = await asyncio.gather(*futures, return_exceptions=True)
+    stats.failed = sum(1 for o in outcomes if isinstance(o, BaseException))
+    return stats
+
+
+async def closed_loop(
+    orchestrator: Any,
+    source: RequestSource,
+    *,
+    sessions: int,
+    requests_per_session: int,
+    think_ns: int = 0,
+    backoff_ns: int = 1000,
+) -> ClientStats:
+    """Closed-loop driver: ``sessions`` concurrent clients, each
+    submit -> await -> think.  Sheds back off and retry (they do not
+    count against the session's request budget)."""
+    import asyncio
+
+    stats = ClientStats()
+
+    async def one_session(offset: int) -> None:
+        # stagger session starts one ns apart so the arrival order is
+        # deterministic and not all-at-t=0
+        await orchestrator.clock.sleep_ns(offset)
+        done = 0
+        while done < requests_per_session:
+            procedure, params, tenant, _user = source.next_request()
+            try:
+                await orchestrator.submit(procedure, params, tenant)
+                stats.submitted += 1
+                done += 1
+            except AdmissionRejected as exc:
+                stats.record_shed(exc)
+                await orchestrator.clock.sleep_ns(backoff_ns)
+                continue
+            except IngressClosed:
+                return
+            if think_ns:
+                await orchestrator.clock.sleep_ns(think_ns)
+
+    await asyncio.gather(*(one_session(i) for i in range(sessions)))
+    await orchestrator.drain()
+    return stats

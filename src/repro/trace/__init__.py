@@ -20,7 +20,13 @@ the CLI (:mod:`repro.trace.cli`), which drives whole workloads, is
 imported only by ``python -m repro.trace``.
 """
 
-from repro.trace.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.trace.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LatencyDigest,
+    MetricsRegistry,
+)
 from repro.trace.tracer import (
     BATCH_TRACK,
     AsyncSpan,
@@ -41,6 +47,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "InstantEvent",
+    "LatencyDigest",
     "MetricsRegistry",
     "Span",
     "Tracer",

@@ -86,6 +86,62 @@ class Histogram:
         return sum(self.counts.values())
 
 
+class LatencyDigest:
+    """Exact-value latency digest: every observed sample is kept, so
+    percentiles are the true order statistics rather than bucket
+    approximations — affordable because serve/bench runs observe at
+    most a few hundred thousand samples, and required because the serve
+    differential tests assert *byte-identical* percentile output across
+    runs.  Uses the same nearest-rank definition as
+    :meth:`repro.core.stats.RunStats.latency_percentile`."""
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._values: list[int] = []
+        self._sorted: list[int] | None = None
+
+    def observe(self, value_ns: int | float) -> None:
+        self._values.append(int(value_ns))
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self._values) / len(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> int:
+        """Nearest-rank percentile in the observed unit (p in [0, 100])."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self._values:
+            return 0
+        if self._sorted is None:
+            self._sorted = sorted(self._values)
+        ordered = self._sorted
+        rank = min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1)))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-ready percentile block (ns unless the caller observed
+        another unit)."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.percentile(100),
+        }
+
+
 class MetricsRegistry:
     """Named instruments, created on first use."""
 

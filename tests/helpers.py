@@ -65,6 +65,77 @@ def bank_engine(
     return engine, db, registry
 
 
+class StubEngine:
+    """A scriptable engine double for the serve-layer tests.
+
+    Implements exactly the surface the :class:`repro.serve.orchestrator
+    .Orchestrator` touches — ``config.batch_size`` /
+    ``config.effective_retry_delay``, ``run_batch``, optional ``tracer``
+    — with a pluggable per-transaction ``verdict`` and a fixed simulated
+    ``latency_ns`` per non-empty batch.  ``latency_ns=0`` makes policy
+    deadlines *exact* (no queueing delay ever accrues), which the
+    Hypothesis deadline-bound property relies on.
+
+    ``verdict(txn) -> "commit" | "abort" | "logic"`` — "abort" means a
+    concurrency-control abort (the orchestrator re-queues it).
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 8,
+        latency_ns: float = 0.0,
+        retry_delay: int = 1,
+        verdict=None,
+    ):
+        from types import SimpleNamespace
+
+        self.config = SimpleNamespace(
+            batch_size=batch_size, effective_retry_delay=retry_delay
+        )
+        self.latency_ns = latency_ns
+        self.verdict = verdict or (lambda txn: "commit")
+        self.tracer = None
+        self.metrics = None
+        #: every batch run, as (procedure_name, tid) tuples
+        self.batches: list[list[tuple[str, int]]] = []
+
+    def reset_run_state(self) -> None:
+        self.batches = []
+
+    def run_batch(self, batch):
+        from repro.core.engine import BatchResult
+        from repro.core.stats import BatchStats
+        from repro.txn.transaction import TxnStatus
+
+        self.batches.append([(t.procedure_name, t.tid) for t in batch])
+        committed, aborted, logic = [], [], []
+        for t in batch:
+            t.attempts += 1
+            kind = self.verdict(t)
+            if kind == "commit":
+                t.status = TxnStatus.COMMITTED
+                committed.append(t)
+            elif kind == "abort":
+                t.status = TxnStatus.ABORTED
+                t.abort_reason = "stub-cc"
+                aborted.append(t)
+            elif kind == "logic":
+                t.status = TxnStatus.LOGIC_ABORTED
+                t.abort_reason = "stub-logic"
+                logic.append(t)
+            else:  # pragma: no cover - test-authoring error
+                raise ValueError(f"unknown stub verdict {kind!r}")
+        stats = BatchStats(
+            batch_index=len(self.batches) - 1,
+            num_txns=len(batch),
+            committed=len(committed),
+            aborted=len(aborted),
+            logic_aborted=len(logic),
+            latency_ns=self.latency_ns if batch else 0.0,
+        )
+        return BatchResult(stats, committed, aborted, logic)
+
+
 def txn(name: str, *params) -> Transaction:
     return Transaction(name, tuple(params))
 

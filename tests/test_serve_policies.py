@@ -1,0 +1,213 @@
+"""Property tests for batch-forming policies (Hypothesis, virtual clock).
+
+Three laws, checked against randomly generated arrival traces driven
+through the *real* orchestrator + virtual-time loop (no mocked queues):
+
+* **partition** — every admitted request lands in exactly one batch;
+* **capacity** — no cut batch exceeds the policy's capacity;
+* **deadline bound** — under a deadline/hybrid policy with a
+  zero-latency engine, no request waits in the forming queue past
+  ``max_wait_ns``.  (Zero engine latency makes the bound exact: the
+  loop is always free to cut the instant a deadline expires.  With
+  nonzero latency the bound loosens by queueing delay — that regime is
+  covered by the capacity/partition laws, which hold regardless.)
+
+Plus pure-function properties of the policy objects themselves, which
+need no event loop at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+from helpers import StubEngine
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.clock import run_simulation
+from repro.serve.orchestrator import Orchestrator
+from repro.serve.policies import (
+    DeadlinePolicy,
+    HybridPolicy,
+    QueueView,
+    SizePolicy,
+    make_policy,
+)
+
+pytestmark = pytest.mark.serve
+
+# -- pure policy properties (no loop) -----------------------------------
+
+queue_views = st.builds(
+    QueueView,
+    eligible=st.integers(min_value=0, max_value=64),
+    oldest_enqueue_ns=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=10**9)
+    ),
+    now_ns=st.integers(min_value=0, max_value=2 * 10**9),
+    draining=st.booleans(),
+)
+
+
+def _coherent(q: QueueView) -> bool:
+    """Views the orchestrator can actually produce."""
+    if q.eligible > 0 and q.oldest_enqueue_ns is None:
+        return False
+    if q.oldest_enqueue_ns is not None and q.oldest_enqueue_ns > q.now_ns:
+        return False
+    return True
+
+
+@given(q=queue_views.filter(_coherent), capacity=st.integers(1, 64))
+def test_size_policy_cut_law(q: QueueView, capacity: int):
+    policy = SizePolicy(capacity)
+    expected = q.eligible >= capacity or (q.draining and q.eligible > 0)
+    assert policy.should_cut(q) == expected
+    assert policy.next_deadline_ns(q) is None
+
+
+@given(
+    q=queue_views.filter(_coherent),
+    capacity=st.integers(1, 64),
+    max_wait=st.integers(0, 10**6),
+    advance=st.integers(0, 10**6),
+)
+def test_deadline_policy_is_monotone_in_time(
+    q: QueueView, capacity: int, max_wait: int, advance: int
+):
+    """Once a queue state says "cut", strictly later virtual time (same
+    queue) still says "cut" — deadlines never un-expire."""
+    policy = DeadlinePolicy(capacity, max_wait)
+    later = QueueView(
+        eligible=q.eligible,
+        oldest_enqueue_ns=q.oldest_enqueue_ns,
+        now_ns=q.now_ns + advance,
+        draining=q.draining,
+    )
+    if policy.should_cut(q):
+        assert policy.should_cut(later)
+
+
+@given(
+    q=queue_views.filter(_coherent),
+    capacity=st.integers(1, 64),
+    max_wait=st.integers(0, 10**6),
+)
+def test_deadline_policy_next_deadline_is_tight(
+    q: QueueView, capacity: int, max_wait: int
+):
+    """``next_deadline_ns`` is exactly when ``should_cut`` flips: not
+    before (unless already cutting), and no later."""
+    policy = DeadlinePolicy(capacity, max_wait)
+    deadline = policy.next_deadline_ns(q)
+    if deadline is None:
+        assert q.eligible <= 0
+        return
+    at_deadline = QueueView(
+        eligible=q.eligible,
+        oldest_enqueue_ns=q.oldest_enqueue_ns,
+        now_ns=max(q.now_ns, deadline),
+        draining=q.draining,
+    )
+    assert policy.should_cut(at_deadline)
+    if not policy.should_cut(q):
+        assert deadline > q.now_ns
+
+
+# -- end-to-end laws through the real orchestrator ----------------------
+
+policy_specs = st.one_of(
+    st.tuples(st.just("size"), st.integers(1, 8), st.just(0)),
+    st.tuples(st.just("deadline"), st.integers(1, 8), st.integers(0, 5000)),
+    st.tuples(st.just("hybrid"), st.integers(1, 8), st.integers(0, 5000)),
+)
+
+arrival_traces = st.lists(
+    st.integers(min_value=0, max_value=2000), min_size=1, max_size=40
+)
+
+
+def _serve_trace(gaps, policy_name, capacity, max_wait_ns, verdict=None):
+    """Post one request per arrival gap; return the orchestrator."""
+    engine = StubEngine(batch_size=capacity, latency_ns=0.0, verdict=verdict)
+    policy = make_policy(policy_name, capacity, max_wait_ns=max_wait_ns)
+
+    async def main():
+        orch = Orchestrator(engine, policy=policy)
+        submits = []
+        async with orch:
+            for i, gap in enumerate(gaps):
+                await orch.clock.sleep_ns(gap)
+                submits.append(
+                    (i, orch.clock.now_ns(), orch.post("noop", (i,)))
+                )
+        responses = [(i, t, await fut) for i, t, fut in submits]
+        return orch, responses
+
+    return run_simulation(main())
+
+
+@settings(deadline=None, max_examples=60)
+@given(gaps=arrival_traces, spec=policy_specs)
+def test_every_request_in_exactly_one_batch(gaps, spec):
+    name, capacity, max_wait_ns = spec
+    orch, responses = _serve_trace(gaps, name, capacity, max_wait_ns)
+    seen: list[int] = []
+    for record in orch.batch_records:
+        seen.extend(seq for seq, _tid in record.members)
+    assert sorted(seen) == list(range(len(gaps)))
+    assert len(seen) == len(set(seen))
+    assert all(resp.committed for _i, _t, resp in responses)
+
+
+@settings(deadline=None, max_examples=60)
+@given(gaps=arrival_traces, spec=policy_specs)
+def test_no_batch_exceeds_capacity(gaps, spec):
+    name, capacity, max_wait_ns = spec
+    orch, _responses = _serve_trace(gaps, name, capacity, max_wait_ns)
+    assert orch.batch_records, "at least one batch must be cut"
+    for record in orch.batch_records:
+        assert len(record.members) <= capacity
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    gaps=arrival_traces,
+    capacity=st.integers(1, 8),
+    max_wait_ns=st.integers(0, 5000),
+    hybrid=st.booleans(),
+)
+def test_deadline_bound_holds_exactly(gaps, capacity, max_wait_ns, hybrid):
+    """Zero-latency engine: no request's queue wait exceeds the policy's
+    ``max_wait_ns`` — the forming deadline is a hard bound, not a hint."""
+    name = "hybrid" if hybrid else "deadline"
+    orch, responses = _serve_trace(gaps, name, capacity, max_wait_ns)
+    for _i, submit_ns, resp in responses:
+        assert resp.first_cut_ns - submit_ns <= max_wait_ns
+        assert resp.queue_wait_ns >= 0
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    gaps=st.lists(st.integers(0, 500), min_size=2, max_size=20),
+    capacity=st.integers(1, 4),
+)
+def test_partition_holds_with_retries(gaps, capacity):
+    """Concurrency-control aborts re-enter the queue: each *attempt*
+    occupies one batch slot, and every request still resolves exactly
+    once (committed on its second try)."""
+    def abort_first_try(t):
+        return "abort" if t.attempts == 1 else "commit"
+
+    orch, responses = _serve_trace(
+        gaps, "hybrid", capacity, 1000, verdict=abort_first_try
+    )
+    assert all(resp.committed for _i, _t, resp in responses)
+    assert all(resp.attempts == 2 for _i, _t, resp in responses)
+    placements = [
+        seq for rec in orch.batch_records for seq, _tid in rec.members
+    ]
+    # each request appears exactly twice (original attempt + retry)
+    assert sorted(set(placements)) == list(range(len(gaps)))
+    assert len(placements) == 2 * len(gaps)
+    for rec in orch.batch_records:
+        assert len(rec.members) <= capacity

@@ -142,6 +142,77 @@ def test_back_to_back_traces_are_identical():
     assert second == first
 
 
+def _serve_fixed_stream(engine):
+    """Serve a fixed request stream on a fresh virtual clock; capture
+    every engine span plus the serve layer's own async spans."""
+    from repro.serve.clock import run_simulation
+    from repro.serve.orchestrator import Orchestrator
+    from repro.serve.policies import DeadlinePolicy
+
+    async def main():
+        async with Orchestrator(
+            engine, policy=DeadlinePolicy(4, max_wait_ns=500)
+        ) as orch:
+            futures = []
+            for i, (name, params) in enumerate([
+                ("transfer", (0, 1, 5)),
+                ("deposit", (2, 7)),
+                ("audit", (3, 4)),
+                ("transfer", (5, 6, 1)),
+                ("deposit", (9, 2)),
+            ]):
+                await orch.clock.sleep_ns(100 * i)
+                futures.append(orch.post(name, params))
+        return [await f for f in futures]
+
+    responses = run_simulation(main())
+    spans = [
+        (s.name, s.track, s.start_ns, s.end_ns, s.depth, s.parent)
+        for s in engine.tracer.spans
+    ]
+    serve_spans = [
+        (s.name, s.track, s.start_ns, s.end_ns, tuple(sorted(s.args.items())))
+        for s in engine.tracer.async_spans
+        if s.track == "serve.batches"
+    ]
+    latencies = [r.latency_ns for r in responses]
+    return spans, serve_spans, latencies
+
+
+def test_serve_runs_reset_to_identical_traces():
+    """reset_run_state() is to a serve run what Profiler.reset is to a
+    batch: both timelines (device spans *and* serve batch spans) rewind
+    to t=0 and replay bit-identically on the next run."""
+    engine = _traced_bank_engine()
+    first = _serve_fixed_stream(engine)
+    assert min(s[2] for s in first[0]) == 0.0
+    # fresh clock: the first cut lands exactly at the 500 ns deadline of
+    # the t=0 arrival, not at some drifted later instant
+    assert min(s[2] for s in first[1]) == 500.0
+
+    engine.reset_run_state()
+    second = _serve_fixed_stream(engine)
+    assert second == first
+
+
+def test_reset_run_state_rewinds_everything():
+    """The engine-side hygiene behind back-to-back serve runs: clocks,
+    tracer, metrics, and the batch counter all return to zero while
+    persistent state (the database) survives."""
+    engine = _traced_bank_engine()
+    _run_fixed_batch(engine)
+    digest = engine.database.state_digest()
+    assert engine.device.stream(engine.compute_stream).time_ns > 0.0
+    assert engine.tracer.spans
+
+    engine.reset_run_state()
+    assert engine.device.stream(engine.compute_stream).time_ns == 0.0
+    assert engine.tracer.spans == []
+    assert engine._batch_counter == 0
+    assert len(engine.batch_log) == 0
+    assert engine.database.state_digest() == digest
+
+
 # -- satellite 2: Hypothesis properties for RunStats ------------------------
 
 def _run_from(latencies):
