@@ -271,6 +271,183 @@ def check_backend(backend: str | None, rounds: int = DEFAULT_ROUNDS) -> int:
     return 0
 
 
+#: Transfer-ceiling gate (``--transfer-ceiling``): with
+#: ``device_resident=1`` the steady-state per-batch H2D traffic must be
+#: op-proportional — transaction parameters, conflict registration and
+#: write-back scatters — never whole-column round-trips.  The budget is
+#: expressed per transaction: TXN_PARAM_BYTES approximates the
+#: parameter-column upload per transaction (ParamColumns ships ~18
+#: int64 fields) and the factor covers the other op-proportional
+#: streams (registration keys/tids, write-back rows/values, grow-driven
+#: re-uploads).  Crucially the budget does NOT scale with database
+#: size, so any per-batch column re-upload creeping back in trips it —
+#: the non-resident path exceeds it several-fold even at the small
+#: quick-gate scale (verified by the gate itself).
+TXN_PARAM_BYTES = 160
+PARAMS_BUDGET_FACTOR = 10
+TRANSFER_GATE_WAREHOUSES = 4
+TRANSFER_GATE_BATCHES = 3
+
+#: Full-mode acceptance numbers (``--transfer-ceiling-full``): at the
+#: paper's headline batch 2^14 on full-scale TPC-C (64 warehouses,
+#: standard five-transaction mix), residency must cut steady-state
+#: per-batch H2D+D2H bytes by at least 10x vs the non-resident batched
+#: path, with byte-identical final database state.
+TRANSFER_FULL_WAREHOUSES = 64
+TRANSFER_FULL_BATCH = 16_384
+TRANSFER_FULL_RATIO = 10.0
+
+
+def _steady_transfers(
+    backend: str,
+    device_resident: bool,
+    warehouses: int,
+    batch_size: int,
+    batches: int,
+    full_mix: bool,
+) -> tuple[dict[str, int], str]:
+    """Run ``batches`` batches and return (last-batch ledger deltas,
+    final database digest).  The last batch is steady state: batch 0
+    pays the initial residency upload, batch 1 the first-touch upload
+    of write-back-only columns.  mockgpu's ledger is deterministic, so
+    the gate reproduces exactly on any host."""
+    import dataclasses
+
+    from repro.bench.common import ltpg_config, tpcc_bench
+
+    if full_mix:
+        from repro.bench.fullmix import FULL_MIX
+        from repro.core.engine import LTPGEngine
+        from repro.workloads.tpcc import build_tpcc
+
+        db, registry, generator = build_tpcc(
+            warehouses=warehouses, num_items=100_000, mix=FULL_MIX, seed=7
+        )
+        config = dataclasses.replace(
+            ltpg_config(batch_size),
+            columnar_ops=True, batched_exec=True, array_backend=backend,
+            device_resident=device_resident,
+        )
+        engine = LTPGEngine(db, registry, config)
+        database = db
+    else:
+        bench = tpcc_bench(
+            warehouses, neworder_pct=50, batch_size=batch_size, seed=7
+        )
+        config = dataclasses.replace(
+            ltpg_config(batch_size),
+            columnar_ops=True, batched_exec=True, array_backend=backend,
+            device_resident=device_resident,
+        )
+        engine = bench.engine(config)
+        generator = bench.generator
+        database = bench.database
+    try:
+        for _ in range(batches):
+            engine.run_batch(generator.make_batch(batch_size))
+        transfers = engine.last_transfers
+        if engine._residency is not None:
+            engine._residency.sync_all_to_host()
+        digest = database.state_digest()
+    finally:
+        engine.close()
+    return transfers, digest
+
+
+def check_transfer_ceiling(
+    backend: str | None,
+    batch_size: int = GATE_BATCH,
+    full: bool = False,
+) -> int:
+    """Gate device residency's whole point: with ``device_resident=1``
+    the steady-state per-batch H2D bytes must stay within the
+    op-proportional (params-only) budget, while the non-resident path
+    must exceed it — proving both that residency kills the per-phase
+    column round-trip and that the gate would catch its return.
+
+    Quick mode runs a small database so CI stays fast; byte identity of
+    the final state between the two paths rides along.  ``full=True``
+    additionally reruns the acceptance configuration (full-scale TPC-C,
+    five-transaction mix, batch 2^14) and holds the total H2D+D2H
+    reduction to >= {ratio}x.
+    """.format(ratio=TRANSFER_FULL_RATIO)
+    from repro.xp import available_backends
+
+    backend = backend or "mockgpu"
+    if backend == "auto":
+        backend = "mockgpu"
+    if backend not in available_backends() or backend == "numpy":
+        print(f"transfer-ceiling gate skipped: backend {backend!r} has no ledger")
+        return 0
+
+    resident, digest_r = _steady_transfers(
+        backend, True, TRANSFER_GATE_WAREHOUSES, batch_size,
+        TRANSFER_GATE_BATCHES, full_mix=False,
+    )
+    baseline, digest_b = _steady_transfers(
+        backend, False, TRANSFER_GATE_WAREHOUSES, batch_size,
+        TRANSFER_GATE_BATCHES, full_mix=False,
+    )
+    budget = batch_size * TXN_PARAM_BYTES * PARAMS_BUDGET_FACTOR
+    res_ok = resident["h2d_bytes"] <= budget
+    bites = baseline["h2d_bytes"] > budget
+    same = digest_r == digest_b
+    print(
+        f"transfer ceiling @ batch {batch_size} "
+        f"({TRANSFER_GATE_WAREHOUSES} warehouses, {backend}): steady "
+        f"H2D resident {resident['h2d_bytes'] / 1e6:.2f} MB, budget "
+        f"{budget / 1e6:.2f} MB ({TXN_PARAM_BYTES} B/txn x "
+        f"{PARAMS_BUDGET_FACTOR}) -> {'OK' if res_ok else 'FAIL'}"
+    )
+    print(
+        f"  non-resident H2D {baseline['h2d_bytes'] / 1e6:.2f} MB "
+        f"{'exceeds' if bites else 'UNDER'} the budget (gate "
+        f"{'bites' if bites else 'would not catch a regression'})"
+        f" -> {'OK' if bites else 'FAIL'}"
+    )
+    print(
+        f"  final state digest identical across paths -> "
+        f"{'OK' if same else 'FAIL'}"
+    )
+    if not res_ok:
+        print(
+            "steady-state H2D under device_resident=1 exceeds the "
+            "params-only budget: a per-batch column round-trip crept back in"
+        )
+        return 1
+    if not bites or not same:
+        return 1
+    if not full:
+        return 0
+
+    resident, digest_r = _steady_transfers(
+        backend, True, TRANSFER_FULL_WAREHOUSES, TRANSFER_FULL_BATCH,
+        TRANSFER_GATE_BATCHES, full_mix=True,
+    )
+    baseline, digest_b = _steady_transfers(
+        backend, False, TRANSFER_FULL_WAREHOUSES, TRANSFER_FULL_BATCH,
+        TRANSFER_GATE_BATCHES, full_mix=True,
+    )
+    res_total = resident["h2d_bytes"] + resident["d2h_bytes"]
+    base_total = baseline["h2d_bytes"] + baseline["d2h_bytes"]
+    ratio = base_total / max(res_total, 1)
+    ratio_ok = ratio >= TRANSFER_FULL_RATIO
+    same = digest_r == digest_b
+    print(
+        f"transfer ceiling (full) @ batch {TRANSFER_FULL_BATCH} "
+        f"({TRANSFER_FULL_WAREHOUSES} warehouses, full mix): "
+        f"baseline {base_total / 1e6:.1f} MB/batch, resident "
+        f"{res_total / 1e6:.1f} MB/batch, reduction {ratio:.2f}x "
+        f"(floor {TRANSFER_FULL_RATIO:.0f}x) -> "
+        f"{'OK' if ratio_ok else 'FAIL'}"
+    )
+    print(
+        f"  final state digest identical across paths -> "
+        f"{'OK' if same else 'FAIL'}"
+    )
+    return 0 if ratio_ok and same else 1
+
+
 #: Serve gate tolerance: measured p99 may exceed the committed baseline
 #: by at most this factor (and goodput may fall below baseline by it).
 #: Serve numbers are virtual-clock and deterministic — identical code
@@ -384,6 +561,19 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the array-backend contract gate",
     )
     parser.add_argument(
+        "--transfer-ceiling", action="store_true",
+        help="gate steady-state per-batch H2D under device_resident=1 "
+        "against the op-proportional (params-only) budget on the "
+        "ledger backend (deterministic; CI runs this with --quick)",
+    )
+    parser.add_argument(
+        "--transfer-ceiling-full", action="store_true",
+        help="also rerun the full-scale acceptance configuration "
+        f"({TRANSFER_FULL_WAREHOUSES} warehouses, full mix, batch "
+        f"{TRANSFER_FULL_BATCH}) and require a "
+        f">={TRANSFER_FULL_RATIO:.0f}x H2D+D2H reduction",
+    )
+    parser.add_argument(
         "--serve-baseline",
         default=os.path.join(root, "BENCH_serve.json"),
         help="serve baseline JSON (default: the committed BENCH_serve.json)",
@@ -414,6 +604,10 @@ def main(argv: list[str] | None = None) -> int:
             rc = check_parallel(args.rounds, args.parallel_floor)
     if rc == 0 and not args.skip_backend:
         rc = check_backend(args.backend, 2 if args.quick else args.rounds)
+    if rc == 0 and (args.transfer_ceiling or args.transfer_ceiling_full):
+        rc = check_transfer_ceiling(
+            args.backend, full=args.transfer_ceiling_full
+        )
     if rc == 0 and not args.skip_serve:
         rc = check_serve(args.serve_baseline, args.serve_factor)
     return rc

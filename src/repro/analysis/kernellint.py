@@ -45,6 +45,17 @@ annotated with an inline allow marker on the same or preceding line::
 Scalar reductions (``arr.max()`` with no axis) are *not* findings: the
 shared contract models them as one-word readbacks, exactly as mockgpu
 accounts them at runtime.
+
+With ``device_resident=1`` the authoritative table snapshot lives on
+the device (:class:`~repro.xp.residency.DeviceTableView`), so twin or
+helper code that reads a table column through the host-side
+:class:`~repro.storage.table.Table` API (``table.column(...)`` or the
+private ``._columns``/``._keys`` storage) either observes a stale host
+mirror or forces a per-batch fence round-trip — exactly the transfer
+residency exists to kill.  Such reads are flagged as ``KL106``; route
+them through ``bctx`` (``read_rows``/``column_of``/``rows_for_keys``),
+which resolves against the resident device copy, or annotate a
+sanctioned host probe with ``# kernellint: allow[KL106]``.
 """
 
 from __future__ import annotations
@@ -71,6 +82,7 @@ RULES: dict[str, str] = {
     "KL102": "backend-escape",
     "KL103": "float-upcast",
     "KL105": "host-readback-loop",
+    "KL106": "host-table-read",
     "KL201": "order-dependent-reduction",
     "KL202": "scatter-non-disjoint",
     "KL203": "unordered-iteration",
@@ -622,6 +634,20 @@ class _TwinLinter(ast.NodeVisitor):
                 self._is_xp(func.value) or self._is_bctx_xp_attr(func.value)
             ):
                 self._check_scatter(node)
+            elif func.attr in ("column", "host_column") and not (
+                isinstance(func.value, ast.Name)
+                and func.value.id in (self.params, self.bctx)
+            ):
+                self._emit(
+                    "KL106", node,
+                    f".{func.attr}() reads a table column through the "
+                    "host-side Table API: under device residency the "
+                    "authoritative copy is the DeviceTableView, so this "
+                    "either observes a stale host mirror or forces a "
+                    "per-batch fence round-trip — route the read through "
+                    "bctx (read_rows/column_of), or mark a sanctioned "
+                    "host probe with '# kernellint: allow[KL106]'",
+                )
         self.generic_visit(node)
 
     def _check_float_dtype_arg(self, node: ast.Call) -> None:
@@ -672,6 +698,15 @@ class _TwinLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in ("_columns", "_keys") and not self._is_xp(node.value):
+            self._emit(
+                "KL106", node,
+                f"._{node.attr.lstrip('_')} touches Table's private host "
+                "storage directly, bypassing the residency fence: under "
+                "device residency the host ndarray may be stale — use the "
+                "bctx device path or '# kernellint: allow[KL106]' for a "
+                "sanctioned host probe",
+            )
         if node.attr in _FLOAT_DTYPES:
             chain = _attr_chain(node)
             if chain and chain[0] in ("np", "numpy") or self._is_xp(node.value):

@@ -56,6 +56,14 @@ class WallclockResult:
     #: observability summary (``RunStats.metrics_summary``) from a short
     #: traced run at the headline batch — the timed sweep stays untraced
     metrics: dict = field(default_factory=dict)
+    #: path name -> batch size -> engine phase -> transfer-ledger deltas
+    #: (``h2d_bytes``/``d2h_bytes``/...) of one steady-state batch, for
+    #: every ledger-backed path and every batch-size column — this is
+    #: what makes the ``device_resident`` transfer win visible across
+    #: the sweep, not just at the traced headline batch
+    transfers: dict[str, dict[int, dict[str, dict[str, int]]]] = field(
+        default_factory=dict
+    )
 
     def exec_conflict(self, path: str, batch: int) -> float:
         phases = self.seconds[path][batch]
@@ -128,6 +136,23 @@ class WallclockResult:
             "parallel speedup = batched / parallel on execute; "
             "simulated-time results are identical by construction.",
         )
+        if self.transfers:
+            xheaders = ["path", "batch size", "H2D (MB/batch)", "D2H (MB/batch)"]
+            xrows = []
+            for p in sorted(self.transfers):
+                for b in sorted(self.transfers[p]):
+                    phases = self.transfers[p][b]
+                    h2d = sum(d.get("h2d_bytes", 0) for d in phases.values())
+                    d2h = sum(d.get("d2h_bytes", 0) for d in phases.values())
+                    xrows.append([p, b, f"{h2d / 1e6:.1f}", f"{d2h / 1e6:.1f}"])
+            table += "\n\n" + format_table(
+                "Steady-state transfer ledger per batch (mockgpu/device "
+                "backends only)",
+                xheaders,
+                xrows,
+                note="one post-warm-up batch per cell; per-phase splits "
+                "are in BENCH_wallclock.json under transfers_per_batch.",
+            )
         if self.metrics:
             table += "\n\n" + format_metrics(
                 self.metrics, title="Observability (traced headline batch)"
@@ -164,6 +189,10 @@ class WallclockResult:
                 if b in self.seconds.get("parallel", {})
             },
             "metrics": self.metrics,
+            "transfers_per_batch": {
+                path: {str(b): phases for b, phases in by_batch.items()}
+                for path, by_batch in self.transfers.items()
+            },
         }
 
     def write(self, path: str) -> None:
@@ -183,6 +212,8 @@ def measure_path(
     batched: bool = False,
     parallel: int = 0,
     backend: str = "numpy",
+    device_resident: bool = False,
+    transfers_out: dict | None = None,
 ) -> dict[str, float]:
     """Min-of-rounds per-phase host seconds for one op path.
 
@@ -192,7 +223,13 @@ def measure_path(
     execute (implies the batched path); the warm-up batch also absorbs
     the pool start-up and snapshot export.  ``backend`` selects the
     ``repro.xp`` array backend (non-numpy backends require the batched
-    path; the warm-up batch also absorbs any device initialization).
+    path; the warm-up batch also absorbs any device initialization) and
+    ``device_resident`` pins table columns device-side across batches.
+
+    When ``transfers_out`` is given and the backend has a transfer
+    ledger, the final measured batch's per-phase ledger deltas are
+    stored there (deltas are deterministic per batch index, so the
+    last — steadiest — batch is the representative one).
     """
     bench = tpcc_bench(
         warehouses, neworder_pct=neworder_pct, batch_size=batch_size,
@@ -204,6 +241,7 @@ def measure_path(
         batched_exec=batched or parallel > 0,
         parallel_workers=parallel,
         array_backend=backend,
+        device_resident=device_resident,
     )
     engine = bench.engine(config)
     try:
@@ -215,6 +253,12 @@ def measure_path(
                 t = engine.last_host_phase_s.get(phase, 0.0)
                 if phase not in best or t < best[phase]:
                     best[phase] = t
+        if (
+            transfers_out is not None
+            and backend != "numpy"
+            and engine.last_phase_transfers
+        ):
+            transfers_out.update(engine.last_phase_transfers)
     finally:
         engine.close()
     best["total"] = sum(best[p] for p in PHASES)
@@ -293,23 +337,28 @@ def run(
         "array_backend": get_backend(backend or "numpy").device_info(),
     }
     paths = [
-        ("parallel", True, True, parallel_workers, "numpy"),
-        ("batched", True, True, 0, "numpy"),
-        ("columnar", True, False, 0, "numpy"),
-        ("reference", False, False, 0, "numpy"),
+        ("parallel", True, True, parallel_workers, "numpy", False),
+        ("batched", True, True, 0, "numpy", False),
+        ("columnar", True, False, 0, "numpy", False),
+        ("reference", False, False, 0, "numpy", False),
     ]
     if backend is not None and backend != "numpy":
-        paths.insert(0, (f"batched[{backend}]", True, True, 0, backend))
-    for path, columnar, batched, workers, xp_name in paths:
+        paths.insert(0, (f"batched[{backend}]", True, True, 0, backend, False))
+        paths.insert(0, (f"resident[{backend}]", True, True, 0, backend, True))
+    for path, columnar, batched, workers, xp_name, resident in paths:
         if path == "parallel" and workers <= 0:
             continue
         by_batch: dict[int, dict[str, float]] = {}
         for batch in batch_sizes:
+            transfers: dict[str, dict[str, int]] = {}
             by_batch[batch] = measure_path(
                 columnar, batch, scale=scale, rounds=rounds,
                 warehouses=warehouses, neworder_pct=neworder_pct, seed=seed,
                 batched=batched, parallel=workers, backend=xp_name,
+                device_resident=resident, transfers_out=transfers,
             )
+            if transfers:
+                result.transfers.setdefault(path, {})[batch] = transfers
         result.seconds[path] = by_batch
     result.metrics = measure_metrics(
         scale=scale, warehouses=warehouses, neworder_pct=neworder_pct,

@@ -109,6 +109,22 @@ class LTPGConfig:
     #: boundaries) and ``sanitize`` (the shadow log reads host arrays).
     array_backend: str = "numpy"
 
+    #: Device-resident table residency (:mod:`repro.xp.residency`): pin
+    #: table columns on the active backend once and keep them
+    #: authoritative across batches — write-back and delayed updates
+    #: become device-side scatters instead of host scatter + re-upload,
+    #: and host readers lazily sync through a dirty-column fence.
+    #: Steady-state per-batch H2D drops to parameters plus op-sized
+    #: shuttle traffic (the ``--transfer-ceiling`` gate pins the ≥10x
+    #: reduction on mockgpu).  Requires ``batched_exec``; inert on
+    #: host-identity backends (numpy), where crossings are free.
+    device_resident: bool = False
+
+    #: Pinning policy for ``device_resident``: the table names to keep
+    #: resident.  Empty (the default) pins every table; unpinned tables
+    #: keep the baseline per-batch round-trip path.
+    resident_tables: frozenset[str] = frozenset()
+
     #: Columns managed by delayed updates: {(table, column), ...}.  These
     #: must be accessed only through ADD operations within a batch.
     delayed_columns: frozenset[tuple[str, str]] = frozenset()
@@ -189,6 +205,17 @@ class LTPGConfig:
                     "with sanitize: the shadow access log instruments host "
                     "arrays and would not observe device-resident kernels"
                 )
+        if self.device_resident and not self.batched_exec:
+            raise ConfigError(
+                "device_resident requires batched_exec: only the batched "
+                "write-back/delayed-update scatters operate on device-"
+                "resident columns (the scalar path is host-only by design)"
+            )
+        if self.resident_tables and not self.device_resident:
+            raise ConfigError(
+                "resident_tables is a device_resident pinning policy; set "
+                "device_resident=True (or drop the table list)"
+            )
 
     def resolved_start_method(self) -> str | None:
         """The multiprocessing start method the worker pool should use:

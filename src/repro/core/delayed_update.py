@@ -111,6 +111,7 @@ class DelayedUpdater:
         deltas: np.ndarray,
         ctx: KernelContext | None = None,
         xp=None,
+        residency=None,
     ) -> int:
         """Columnar twin of :meth:`apply`: merge flat per-cell delta
         arrays (interned column ids) with identical cost accounting.
@@ -121,7 +122,11 @@ class DelayedUpdater:
         scatter runs through ``xp.scatter_add`` on a device copy of the
         column and the merged result is copied back — one H2D/D2H pair
         per (table, column) segment, matching the per-batch column
-        shipping the rest of the write-back path uses."""
+        shipping the rest of the write-back path uses.  With a
+        :class:`~repro.xp.residency.ResidencyManager`, the scatter
+        lands in the resident device column instead and only marks the
+        host side stale — delayed adds commute, so merging them on the
+        device copy produces the same snapshot."""
         n = int(table_ids.size)
         if n == 0:
             return 0
@@ -139,9 +144,18 @@ class DelayedUpdater:
         distinct_rows = 0
         device = xp is not None and xp.is_device
         for s, e in zip(starts, ends):
-            target = self._db.table_by_id(int(t_s[s])).column(
-                column_name(int(c_s[s]))
-            )
+            table = self._db.table_by_id(int(t_s[s]))
+            cname = column_name(int(c_s[s]))
+            if device and residency is not None:
+                dev = residency.device_column(table, cname)
+                if dev is not None:
+                    xp.scatter_add(
+                        dev, xp.from_host(r_s[s:e]), xp.from_host(v_s[s:e])
+                    )
+                    residency.mark_dirty(table, cname)
+                    distinct_rows += int(np.unique(r_s[s:e]).size)
+                    continue
+            target = table.column(cname)
             if device:
                 dev = xp.from_host(target)
                 xp.scatter_add(

@@ -195,6 +195,13 @@ class LTPGEngine:
         # Per-batch transfer-ledger deltas of the last batch (zero on
         # the numpy backend), recorded for metrics/tracing.
         self._last_transfers: dict[str, int] = {}
+        # Same deltas split per phase (execute/conflict/writeback plus
+        # "other" for inter-phase traffic like the full-sync fence).
+        self._last_phase_transfers: dict[str, dict[str, int]] = {}
+        # Device-resident table cache (config.device_resident), built
+        # lazily per backend by _ensure_residency.
+        self._residency = None
+        self._residency_key: tuple | None = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -210,6 +217,18 @@ class LTPGEngine:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    @property
+    def last_transfers(self) -> dict[str, int]:
+        """Transfer-ledger deltas of the last batch (empty on numpy)."""
+        return dict(self._last_transfers)
+
+    @property
+    def last_phase_transfers(self) -> dict[str, dict[str, int]]:
+        """Last batch's ledger deltas split by engine phase
+        (``execute``/``conflict``/``writeback`` plus ``other`` for
+        inter-phase traffic); empty on the numpy backend."""
+        return {p: dict(d) for p, d in self._last_phase_transfers.items()}
 
     def reset_run_state(self) -> None:
         """Rewind every run-scoped clock and counter so the next batch
@@ -237,6 +256,13 @@ class LTPGEngine:
         self._last_shards = []
         self._last_merge_s = 0.0
         self._last_transfers = {}
+        self._last_phase_transfers = {}
+        if self._residency is not None:
+            # Flush residency at the run boundary: dirty columns fence
+            # back so host state is inspectable between runs, while the
+            # (now clean) device copies survive — serve-loop reuse stays
+            # params-only from the first batch of the next run.
+            self._residency.sync_all_to_host()
 
     def _ensure_pool(self):
         """The lazily-created worker pool, rebuilt if the procedure
@@ -279,6 +305,13 @@ class LTPGEngine:
             return self._backend
         from repro.xp import resolve_backend
 
+        if self._residency is not None:
+            # The resident columns belong to the outgoing backend: fence
+            # dirty state back to host with *its* crossings, then unhook
+            # so the new backend re-uploads lazily from current host.
+            self._residency.detach()
+            self._residency = None
+            self._residency_key = None
         resolved = name
         if name == "auto" and (
             not self.config.batched_exec
@@ -293,6 +326,33 @@ class LTPGEngine:
         self._backend_name = name
         self.conflict_log.set_backend(backend)
         return backend
+
+    def _ensure_residency(self):
+        """The device-resident table cache for the current backend, or
+        ``None`` when ``config.device_resident`` is off.  Re-keyed on
+        (backend, flag, pinning policy) the same way :meth:`_ensure_pool`
+        re-keys on the registry version — a swapped config object
+        detaches the old cache (fencing dirty columns through the old
+        backend) and builds a fresh one lazily."""
+        backend = self._ensure_backend()
+        if not self.config.device_resident:
+            if self._residency is not None:
+                self._residency.detach()
+                self._residency = None
+                self._residency_key = None
+            return None
+        key = (self._backend_name, self.config.resident_tables)
+        if self._residency is not None and self._residency_key == key:
+            return self._residency
+        from repro.xp.residency import ResidencyManager
+
+        if self._residency is not None:
+            self._residency.detach()
+        self._residency = ResidencyManager(
+            backend, self.database, self.config.resident_tables
+        )
+        self._residency_key = key
+        return self._residency
 
     # ------------------------------------------------------------------
     def run_batch(self, transactions: list[Transaction]) -> BatchResult:
@@ -334,6 +394,7 @@ class LTPGEngine:
         self._phase_sync()
         self._trace_end_phase()
         host_t1 = time.perf_counter()
+        xfer_exec = backend.transfer_stats().snapshot()
 
         # -- phase 2: conflict detection --------------------------------
         self._trace_begin_phase("phase:conflict")
@@ -347,6 +408,7 @@ class LTPGEngine:
         self._phase_sync()
         self._trace_end_phase()
         host_t2 = time.perf_counter()
+        xfer_conf = backend.transfer_stats().snapshot()
 
         # -- phase 3: write-back -----------------------------------------
         committed_mask = commit_mask(flags, self.config.logical_reordering)
@@ -363,6 +425,7 @@ class LTPGEngine:
         self._phase_sync()
         self._trace_end_phase()
         host_t3 = time.perf_counter()
+        xfer_wb = backend.transfer_stats().snapshot()
 
         # -- device -> host: read/write sets + conflict flags -----------
         compute_done = device.create_event("compute_done")
@@ -381,6 +444,10 @@ class LTPGEngine:
                 self.database.nbytes, "d2h", name="full_sync",
                 stream=self.d2h_stream,
             )
+            if self._residency is not None:
+                # Under residency the interval sync is a *real* fence:
+                # every dirty resident column ships back to host.
+                self._residency.sync_all_to_host()
         end_ns = device.stream(self.d2h_stream).time_ns
 
         result = self._assemble_result(
@@ -415,6 +482,12 @@ class LTPGEngine:
         ).occupancy
         xfer1 = backend.transfer_stats().snapshot()
         self._last_transfers = {k: xfer1[k] - xfer0[k] for k in xfer1}
+        self._last_phase_transfers = {
+            "execute": {k: xfer_exec[k] - xfer0[k] for k in xfer1},
+            "conflict": {k: xfer_conf[k] - xfer_exec[k] for k in xfer1},
+            "writeback": {k: xfer_wb[k] - xfer_conf[k] for k in xfer1},
+            "other": {k: xfer1[k] - xfer_wb[k] for k in xfer1},
+        }
         self._record_observability(
             result.stats, start_ns, end_ns,
             exec_span=(exec_entry.start_ns, exec_entry.duration_ns),
@@ -531,6 +604,15 @@ class LTPGEngine:
                     self._last_transfers["d2h_bytes"]
                 )
                 m.counter("transfer.count").inc(self._last_transfers["count"])
+                for phase, delta in self._last_phase_transfers.items():
+                    if not delta.get("count"):
+                        continue
+                    m.counter(f"transfer.{phase}.h2d_bytes").inc(
+                        delta["h2d_bytes"]
+                    )
+                    m.counter(f"transfer.{phase}.d2h_bytes").inc(
+                        delta["d2h_bytes"]
+                    )
             reasons = m.histogram("engine.abort_reason")
             for reason, count in stats.abort_reasons.items():
                 reasons.observe(reason, count)
@@ -875,6 +957,7 @@ class LTPGEngine:
                 [transactions[i].params for i in idxs],
                 delayed_mask_fn=delayed_fn,
                 xp=self._ensure_backend(),
+                residency=self._ensure_residency(),
             )
             batched(bctx, bctx.params)
             mat, counts, g_locals, ranges_by_lane = bctx.finalize()
@@ -1438,6 +1521,7 @@ class LTPGEngine:
         cells = int(w_keep.sum()) + int(a_keep.sum())
         xp = self._ensure_backend()
         on_device = xp.is_device
+        residency = self._ensure_residency()
 
         def scatter(tables, rows, cols, vals, accumulate: bool) -> None:
             if tables.size == 0:
@@ -1452,9 +1536,25 @@ class LTPGEngine:
             starts = np.flatnonzero(new)
             ends = np.append(starts[1:], tables.size)
             for s, e in zip(starts, ends):
-                target = db.table_by_id(int(tables[s])).column(
-                    column_name(int(cols[s]))
-                )
+                table = db.table_by_id(int(tables[s]))
+                cname = column_name(int(cols[s]))
+                if on_device and residency is not None:
+                    dev = residency.device_column(table, cname)
+                    if dev is not None:
+                        # device-resident write-back: scatter into the
+                        # authoritative device copy and mark the host
+                        # side stale — no round trip.  WAW-disjoint
+                        # assignments and commutative adds make the
+                        # apply order irrelevant (ARCHITECTURE §13).
+                        idx = xp.from_host(rows[s:e])
+                        val = xp.from_host(vals[s:e])
+                        if accumulate:
+                            xp.scatter_add(dev, idx, val)
+                        else:
+                            xp.scatter(dev, idx, val)
+                        residency.mark_dirty(table, cname)
+                        continue
+                target = table.column(cname)
                 if on_device:
                     # per-column device scatter with an explicit round
                     # trip: the snapshot's authoritative copy is host
@@ -1532,13 +1632,17 @@ class LTPGEngine:
                     block = vals[pk[cm]]
                     trows = rows[cm]
                     for j, name in enumerate(names):
-                        table.column(name)[trows] = block[:, j]
+                        # freshly claimed slots: write host-side without
+                        # fencing (note_appended mirrors them below)
+                        table.host_column(name)[trows] = block[:, j]
                 table.index_appended(rows)
+                if residency is not None:
+                    residency.note_appended(table, rows)
         ctx.add_global_writes(cells)
         ctx.add_instructions(_APPLY_INSTRUCTIONS * max(1, cells))
         self.delayed.apply_arrays(
             bl.d_table[d_keep], bl.d_row[d_keep], bl.d_col[d_keep],
-            bl.d_val[d_keep], ctx, xp=xp,
+            bl.d_val[d_keep], ctx, xp=xp, residency=residency,
         )
         if self.memory_plan.mode is MemoryMode.UNIFIED and (
             w_keep.any() or a_keep.any()

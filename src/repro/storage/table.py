@@ -41,6 +41,10 @@ class Table:
         #: Keys below this value map to row == key (dense fast path set
         #: up by :meth:`bulk_load`); keys at or above it use the dict.
         self._dense_limit = 0
+        #: Device-resident view hook (:mod:`repro.xp.residency`): while
+        #: set, device-side scatters may leave host columns stale, and
+        #: the host accessors below fence lazily before reading.
+        self._resident_view = None
 
     # -- shape ----------------------------------------------------------------
     def __len__(self) -> int:
@@ -60,6 +64,10 @@ class Table:
         return self._num_rows * self.schema.row_bytes
 
     def _grow(self, needed: int) -> None:
+        if self._resident_view is not None:
+            # Fence before reallocating so np.resize copies a current
+            # prefix; the grown arrays re-upload lazily on next touch.
+            self._resident_view.fence()
         new_capacity = self._capacity
         while new_capacity < needed:
             new_capacity *= 2
@@ -128,6 +136,8 @@ class Table:
             col = self.column(name)
             col[:n] = np.asarray(values, dtype=np.int64)
         self._num_rows = n
+        if self._resident_view is not None:
+            self._resident_view.host_written_all()
         dense = bool(keys[0] == 0 and keys[-1] == n - 1 and np.all(np.diff(keys) == 1))
         if dense:
             self._dense_limit = n
@@ -147,6 +157,8 @@ class Table:
     # -- writes -------------------------------------------------------------
     def insert(self, key: int, values: dict[str, int] | None = None) -> int:
         """Insert a row; returns its slot."""
+        if self._resident_view is not None:
+            self._resident_view.fence()
         if self._num_rows + 1 > self._capacity:
             self._grow(self._num_rows + 1)
         row = self._num_rows
@@ -166,6 +178,8 @@ class Table:
             index.insert(int(self._columns[column][row]), row)
         if self.ordered is not None:
             self.ordered.insert(int(key), row)
+        if self._resident_view is not None:
+            self._resident_view.host_written_all()
         return row
 
     def append_keys(self, keys: np.ndarray) -> np.ndarray:
@@ -207,10 +221,14 @@ class Table:
     def write(self, row: int, column: str, value: int) -> None:
         self._check_row(row)
         self.column(column)[row] = value
+        if self._resident_view is not None:
+            self._resident_view.host_written(column)
 
     def add(self, row: int, column: str, delta: int) -> None:
         self._check_row(row)
         self.column(column)[row] += delta
+        if self._resident_view is not None:
+            self._resident_view.host_written(column)
 
     # -- reads ------------------------------------------------------------------
     def lookup(self, key: int) -> int:
@@ -233,6 +251,8 @@ class Table:
     def read(self, row: int, column: str) -> int:
         if not 0 <= row < self._num_rows:
             self._check_row(row)
+        if self._resident_view is not None:
+            self._resident_view.fence_column(column)
         try:
             return int(self._columns[column][row])
         except KeyError:
@@ -241,6 +261,23 @@ class Table:
             ) from None
 
     def column(self, name: str) -> np.ndarray:
+        """The host array for ``name``; under device residency this is
+        the lazy stale-host-read fence (a dirty column ships down here
+        once before any host code sees it)."""
+        if self._resident_view is not None:
+            self._resident_view.fence_column(name)
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def host_column(self, name: str) -> np.ndarray:
+        """The host array for ``name`` *without* the residency fence.
+        Only for writers that touch freshly appended slots (the insert
+        install path mirrors those device-side via ``note_appended``);
+        anything reading existing rows must use :meth:`column`."""
         try:
             return self._columns[name]
         except KeyError:
@@ -265,6 +302,8 @@ class Table:
     # -- copying ------------------------------------------------------------
     def copy(self) -> "Table":
         """Deep copy (used for snapshots and serializability replay)."""
+        if self._resident_view is not None:
+            self._resident_view.fence()
         clone = Table(self.schema, capacity=max(self._capacity, 1))
         clone._num_rows = self._num_rows
         clone._keys = self._keys.copy()
@@ -280,6 +319,8 @@ class Table:
         key), for equality checks in determinism and serializability
         tests.  Canonical ordering matters: two logically identical
         states may have inserted rows in different physical slots."""
+        if self._resident_view is not None:
+            self._resident_view.fence()
         keys = self._keys[: self._num_rows]
         order = np.argsort(keys, kind="stable")
         parts = [keys[order].tobytes()]

@@ -329,10 +329,15 @@ class BatchedContext:
         params_list: list[tuple],
         delayed_mask_fn=None,
         xp: ArrayBackend | None = None,
+        residency=None,
     ):
         self._db = database
         #: the array backend all emission/finalize math runs on
         self.xp = xp if xp is not None else get_backend("numpy")
+        #: engine-owned device-resident table cache
+        #: (:class:`~repro.xp.residency.ResidencyManager`); when set,
+        #: snapshot columns come from it instead of re-uploading
+        self._residency = residency
         #: device-resident snapshot columns, shipped once per group
         self._dev_cols: dict[tuple[int, str], np.ndarray] = {}
         self.n = len(params_list)
@@ -394,13 +399,21 @@ class BatchedContext:
     def _column(self, t, column: str) -> np.ndarray:
         """Snapshot column, device-resident under a device backend.
 
-        Each (table, column) ships to the device at most once per group
-        — the per-batch column shipping the paper's kernels assume.  On
+        With an engine residency cache the column comes from the
+        persistent :class:`~repro.xp.residency.DeviceTableView` — it
+        was uploaded once for the whole session, not per group, and it
+        carries every committed write-back since.  Otherwise each
+        (table, column) ships to the device at most once per group —
+        the per-batch column shipping the paper's kernels assume.  On
         the host backend this is the column itself (zero copies).
         """
-        col = t._keys if column is None else t.column(column)
         if not self.xp.is_device:
-            return col
+            return t._keys if column is None else t.column(column)
+        if self._residency is not None:
+            dev = self._residency.device_column(t, column)
+            if dev is not None:
+                return dev
+        col = t._keys if column is None else t.column(column)
         key = (id(t), column)
         dev = self._dev_cols.get(key)
         if dev is None:
@@ -842,8 +855,15 @@ class BatchedContext:
         # duplicate detection (the scalar TransactionError)
         if self._ins_chunks:
             parts = []
+            # no fallback and no aborts => every chunk survives whole;
+            # skip the per-chunk lane readback entirely
+            clean = not (self.fallback.any() or self.aborted.any())
             for el, table_id, keys, names, vals in self._ins_chunks:
-                m = ~self.fallback[xp.to_host(el)] & ~self.aborted[xp.to_host(el)]
+                if clean:
+                    parts.append((el, table_id, keys, names, vals))
+                    continue
+                el_h = xp.to_host(el)
+                m = ~self.fallback[el_h] & ~self.aborted[el_h]
                 if m.all():
                     parts.append((el, table_id, keys, names, vals))
                 elif m.any():

@@ -26,6 +26,7 @@ from repro.errors import BackendError, BackendUnavailable
 from repro.xp.base import CONTRACT, ArrayBackend, BackendContract, TransferStats
 from repro.xp.mockgpu import MockGpuBackend
 from repro.xp.numpy_backend import NumpyBackend
+from repro.xp.residency import DeviceTableView, ResidencyManager, ResidencyStats
 
 #: Names accepted by :func:`get_backend` / ``LTPGConfig.array_backend``
 #: ("auto" additionally resolves through :func:`resolve_backend`).
@@ -112,8 +113,11 @@ __all__ = [
     "CONTRACT",
     "ArrayBackend",
     "BackendContract",
+    "DeviceTableView",
     "MockGpuBackend",
     "NumpyBackend",
+    "ResidencyManager",
+    "ResidencyStats",
     "TransferStats",
     "available_backends",
     "get_backend",

@@ -196,6 +196,11 @@ class ArrayBackend:
         version, device description."""
         raise NotImplementedError
 
+    def is_device_array(self, arr) -> bool:
+        """Whether ``arr`` is one of this backend's device-resident
+        arrays (False on host backends: there is no device side)."""
+        return False
+
     # -- the protocol surface (documented here, bound per backend) ----------
     #: Creation: asarray, empty, zeros, ones, full, arange
     #: Combination: concatenate, stack, repeat, broadcast_to, where

@@ -41,6 +41,9 @@ class CupyBackend(ArrayBackend):
         super().__init__(cupy)
         self._cupyx = cupyx
 
+    def is_device_array(self, arr) -> bool:
+        return isinstance(arr, self.module.ndarray)
+
     # -- crossings -----------------------------------------------------------
     def from_host(self, arr):
         cp = self.module

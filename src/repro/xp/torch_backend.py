@@ -286,6 +286,9 @@ class TorchBackend(ArrayBackend):
     def _unwrap(x):
         return TorchArray._unwrap(x)
 
+    def is_device_array(self, arr) -> bool:
+        return isinstance(arr, TorchArray)
+
     # -- crossings -----------------------------------------------------------
     def from_host(self, arr):
         if isinstance(arr, TorchArray):

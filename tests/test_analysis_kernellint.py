@@ -75,6 +75,24 @@ def _ok_marked_readback_loop(bctx, params):
     return out
 
 
+def _bad_host_table_column(bctx, params, table):
+    v = params.column(0)
+    ytd = table.column("w_ytd")
+    return ytd[v]
+
+
+def _bad_private_table_storage(bctx, params, table):
+    v = params.column(0)
+    return table._columns["w_ytd"][v]
+
+
+def _ok_marked_host_table_column(bctx, params, table):
+    v = params.column(0)
+    # kernellint: allow[KL106] cold catalog probe, fenced once at setup
+    ytd = table.column("w_ytd")
+    return ytd[v]
+
+
 def _bad_raw_numpy(bctx, params):
     v = params.column(0)
     return np.sort(v)
@@ -264,6 +282,28 @@ def test_kl105_allow_marker_suppresses():
     findings, suppressed = _lint(_ok_marked_readback_loop)
     assert findings == []
     assert suppressed == 1
+
+
+def test_kl106_host_table_column_read():
+    finding = _assert_single(_bad_host_table_column, "KL106")
+    assert "DeviceTableView" in finding.message
+
+
+def test_kl106_private_table_storage_access():
+    _assert_single(_bad_private_table_storage, "KL106")
+
+
+def test_kl106_allow_marker_suppresses():
+    findings, suppressed = _lint(_ok_marked_host_table_column)
+    assert findings == []
+    assert suppressed == 1
+
+
+def test_kl106_params_column_not_flagged():
+    # params.column(N) is the sanctioned ParamColumns accessor, not a
+    # host-side Table read
+    findings, _ = _lint(_ok_scatter_disjoint)
+    assert "KL106" not in _codes(findings)
 
 
 def test_kl102_raw_numpy_on_device_data():
