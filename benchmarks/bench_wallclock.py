@@ -70,6 +70,18 @@ def main() -> int:
             f"({result.meta.get('parallel_workers')} workers): "
             f"{result.parallel_speedup(headline):.2f}x ({floor})"
         )
+    if headline in result.seconds.get("sharded", {}):
+        cores = os.cpu_count() or 1
+        floor = (
+            "acceptance floor: 1.5x"
+            if cores >= 4
+            else f"floor not enforced: host has {cores} core(s)"
+        )
+        print(
+            f"sharded execute+conflict+writeback speedup over batched at "
+            f"batch {headline} ({result.meta.get('shards')} shards): "
+            f"{result.sharded_speedup(headline):.2f}x ({floor})"
+        )
     print(f"wrote {out}")
     return 0
 

@@ -68,6 +68,15 @@ PARALLEL_WORKERS = 4
 PARALLEL_FLOOR = 1.5
 PARALLEL_MIN_CORES = 4
 
+#: Shard count and speedup floor for the multi-shard gate: at the
+#: headline batch, 4 shards driving 4 process workers must beat the
+#: in-process batched path by 1.5x on the detection pipeline
+#: (execute+conflict+writeback).  Same auto-skip as the parallel gate:
+#: below PARALLEL_MIN_CORES cores the measurement would only time the
+#: OS scheduler, so the gate skips (exit 0) with the reason recorded.
+SHARDED_SHARDS = 4
+SHARDED_FLOOR = 1.5
+
 
 def check(
     baseline_path: str,
@@ -190,6 +199,60 @@ def check_parallel(
         print(
             f"{workers} parallel workers no longer beat the in-process "
             f"batched path by the required {floor:.2f}x on execute"
+        )
+        return 1
+    return 0
+
+
+def check_sharded(
+    rounds: int = DEFAULT_ROUNDS,
+    floor: float = SHARDED_FLOOR,
+    shards: int = SHARDED_SHARDS,
+) -> int:
+    """Gate the multi-shard engine: at the headline batch, ``shards``
+    shards driving ``shards`` process workers must beat the in-process
+    batched path by at least ``floor`` on the detection pipeline
+    (execute+conflict+writeback — the phases the shard split
+    parallelizes; the router's sequencer cost is reported alongside).
+
+    Same skip rule as the parallel gate: below PARALLEL_MIN_CORES cores
+    the ratio would only measure scheduler contention, so the gate
+    records the reason and exits 0.
+    """
+    cores = os.cpu_count() or 1
+    if cores < PARALLEL_MIN_CORES:
+        print(
+            f"sharded gate skipped: host has {cores} core(s), "
+            f"need >= {PARALLEL_MIN_CORES} to run {shards} shard workers "
+            "side by side"
+        )
+        return 0
+    from repro.bench import wallclock
+
+    batched = wallclock.measure_path(
+        columnar=True, batch_size=BATCHED_GATE_BATCH, scale=1.0, rounds=rounds,
+        batched=True,
+    )
+    sharded = wallclock.measure_path(
+        columnar=True, batch_size=BATCHED_GATE_BATCH, scale=1.0, rounds=rounds,
+        batched=True, parallel=shards, shards=shards,
+    )
+    pipeline = ("execute", "conflict", "writeback")
+    bat = sum(batched[p] for p in pipeline)
+    sha = sum(sharded[p] for p in pipeline)
+    ratio = bat / max(sha, 1e-12)
+    status = "OK" if ratio >= floor else "FAIL"
+    print(
+        f"sharded execute+conflict+writeback @ batch {BATCHED_GATE_BATCH} "
+        f"({shards} shards, {shards} workers): batched {bat * 1e3:.1f} ms, "
+        f"sharded {sha * 1e3:.1f} ms (+ sequencer "
+        f"{sharded['sequencer'] * 1e3:.2f} ms), speedup {ratio:.2f}x "
+        f"(floor {floor:.2f}x) -> {status}"
+    )
+    if status == "FAIL":
+        print(
+            f"{shards} shards no longer beat the in-process batched path "
+            f"by the required {floor:.2f}x on execute+conflict+writeback"
         )
         return 1
     return 0
@@ -552,6 +615,17 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the process-parallel speedup gate",
     )
     parser.add_argument(
+        "--sharded-floor", type=float, default=SHARDED_FLOOR,
+        help=f"{SHARDED_SHARDS} shards ({SHARDED_SHARDS} workers) must "
+        "beat the batched path on execute+conflict+writeback by this "
+        f"factor at batch {BATCHED_GATE_BATCH} (default {SHARDED_FLOOR}; "
+        f"auto-skips below {PARALLEL_MIN_CORES} cores)",
+    )
+    parser.add_argument(
+        "--skip-sharded", action="store_true",
+        help="skip the multi-shard speedup gate",
+    )
+    parser.add_argument(
         "--backend", default=None,
         help="repro.xp backend for the array-backend gate (default: "
         "first constructible device backend, skipping when none is)",
@@ -602,6 +676,8 @@ def main(argv: list[str] | None = None) -> int:
             rc = check_batched(args.rounds, args.batched_floor)
         if rc == 0 and not args.skip_parallel:
             rc = check_parallel(args.rounds, args.parallel_floor)
+        if rc == 0 and not args.skip_sharded:
+            rc = check_sharded(args.rounds, args.sharded_floor)
     if rc == 0 and not args.skip_backend:
         rc = check_backend(args.backend, 2 if args.quick else args.rounds)
     if rc == 0 and (args.transfer_ceiling or args.transfer_ceiling_full):

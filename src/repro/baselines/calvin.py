@@ -27,6 +27,14 @@ from repro.txn.operations import OpKind
 from repro.txn.transaction import Transaction
 
 
+def deterministic_order(transactions: list[Transaction]) -> list[Transaction]:
+    """Calvin's agreed-upon total order: ascending TID (stable, so
+    equal TIDs keep their admission order).  The sharded engine reuses
+    this as its cross-shard sequencer — multi-home transactions commit
+    in exactly the order Calvin's lock manager would grant them."""
+    return sorted(transactions, key=lambda t: t.tid)
+
+
 class CalvinEngine(BaselineEngine):
     """Deterministic lock-ordered execution."""
 
@@ -51,7 +59,7 @@ class CalvinEngine(BaselineEngine):
         grant_clock = 0.0
         makespan = 0.0
         total_ops = 0
-        for txn in sorted(transactions, key=lambda t: t.tid):
+        for txn in deterministic_order(transactions):
             ops = txn.ops
             total_ops += len(ops)
             lock_items_r = set()

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.config import LTPGConfig
 from repro.core.engine import LTPGEngine
 from repro.gpusim.device import Device
+from repro.shard import ShardedEngine, make_engine
 from repro.storage.database import Database
 from repro.txn.procedures import ProcedureRegistry
 from repro.workloads.tpcc import (
@@ -61,12 +62,16 @@ class TpccBench:
     generator: TpccGenerator
     batch_size: int
 
-    def engine(self, config: LTPGConfig | None = None, device: Device | None = None) -> LTPGEngine:
-        return LTPGEngine(
+    def engine(
+        self, config: LTPGConfig | None = None, device: Device | None = None
+    ) -> LTPGEngine | ShardedEngine:
+        """An engine honoring ``config.shards`` (the sharded wrapper for
+        N > 1, the plain engine otherwise)."""
+        return make_engine(
             self.database,
             self.registry,
             config or ltpg_config(self.batch_size),
-            device,
+            device=device,
         )
 
 

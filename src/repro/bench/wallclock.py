@@ -11,7 +11,10 @@ reports per-batch seconds for all three paths, plus two speedup series
 recorded in ``BENCH_wallclock.json`` (see docs/ARCHITECTURE.md for how
 to read it): reference/columnar on execute+conflict (the PR 1 headline)
 and columnar/batched on execute and total (the batched-executor
-headline).
+headline).  A ``sharded`` column (N shards driving N process workers
+through the multi-shard engine) and a per-shard balance ledger ride
+along; the ``sequencer`` entry in that column is the host cost of the
+deterministic router.
 
 Methodology: per (batch size, path) a fresh benchmark database is built
 from the same seed, one warm-up batch is run, then ``rounds`` measured
@@ -64,10 +67,18 @@ class WallclockResult:
     transfers: dict[str, dict[int, dict[str, dict[str, int]]]] = field(
         default_factory=dict
     )
+    #: multi-shard extras: shard count, per-table balance ledger
+    #: (rows by owning shard), and the ``shard`` metrics block from a
+    #: short traced sharded run at the headline batch
+    sharded: dict = field(default_factory=dict)
 
     def exec_conflict(self, path: str, batch: int) -> float:
         phases = self.seconds[path][batch]
         return phases["execute"] + phases["conflict"]
+
+    def exec_conflict_writeback(self, path: str, batch: int) -> float:
+        phases = self.seconds[path][batch]
+        return phases["execute"] + phases["conflict"] + phases["writeback"]
 
     def speedup(self, batch: int) -> float:
         """Reference / columnar on the execute+conflict phases."""
@@ -87,6 +98,14 @@ class WallclockResult:
             self.seconds["parallel"][batch][phase], 1e-12
         )
 
+    def sharded_speedup(self, batch: int) -> float:
+        """Batched (in-process, unsharded) / sharded on the detection
+        pipeline (execute+conflict+writeback) — the ``--sharded-floor``
+        gate's ratio."""
+        return self.exec_conflict_writeback("batched", batch) / max(
+            self.exec_conflict_writeback("sharded", batch), 1e-12
+        )
+
     def backend_paths(self) -> list[str]:
         """The optional per-backend columns (``batched[<backend>]``)."""
         return sorted(p for p in self.seconds if p.startswith("batched["))
@@ -94,6 +113,7 @@ class WallclockResult:
     def format(self) -> str:
         have_batched = "batched" in self.seconds
         have_parallel = "parallel" in self.seconds
+        have_sharded = "sharded" in self.seconds
         backends = self.backend_paths()
         headers = [
             "batch size",
@@ -105,6 +125,8 @@ class WallclockResult:
             headers += ["batched exec (s)", "batched speedup (exec)"]
         if have_parallel:
             headers += ["parallel exec (s)", "parallel speedup (exec)"]
+        if have_sharded and have_batched:
+            headers += ["sharded e+c+w (s)", "sharded speedup (e+c+w)"]
         headers += [f"{p} exec (s)" for p in backends]
         rows = []
         for b in sorted(self.seconds.get("columnar", {})):
@@ -124,6 +146,11 @@ class WallclockResult:
                     self.seconds["parallel"][b]["execute"],
                     f"{self.parallel_speedup(b):.2f}x",
                 ]
+            if have_sharded and have_batched:
+                row += [
+                    self.exec_conflict_writeback("sharded", b),
+                    f"{self.sharded_speedup(b):.2f}x",
+                ]
             row += [self.seconds[p][b]["execute"] for p in backends]
             rows.append(row)
         table = format_table(
@@ -134,8 +161,27 @@ class WallclockResult:
             note="speedup = reference / columnar on execute+conflict; "
             "batched speedup = columnar / batched on execute; "
             "parallel speedup = batched / parallel on execute; "
+            "sharded speedup = batched / sharded on "
+            "execute+conflict+writeback; "
             "simulated-time results are identical by construction.",
         )
+        if self.sharded:
+            sheaders = ["table", "rows by owning shard"]
+            srows = [
+                [name, " / ".join(str(c) for c in counts)]
+                for name, counts in sorted(
+                    self.sharded.get("balance_ledger", {}).items()
+                )
+            ]
+            table += "\n\n" + format_table(
+                f"Per-shard balance ledger "
+                f"({self.sharded.get('shards')} shards, headline database)",
+                sheaders,
+                srows,
+                note="live rows per table by owning shard under the "
+                "workload's partition map; counter-keyed tables use the "
+                "default mod rule.",
+            )
         if self.transfers:
             xheaders = ["path", "batch size", "H2D (MB/batch)", "D2H (MB/batch)"]
             xrows = []
@@ -188,6 +234,16 @@ class WallclockResult:
                 for b in sorted(self.seconds.get("batched", {}))
                 if b in self.seconds.get("parallel", {})
             },
+            "speedup_sharded": {
+                str(b): {
+                    "execute_conflict_writeback": round(
+                        self.sharded_speedup(b), 3
+                    ),
+                }
+                for b in sorted(self.seconds.get("batched", {}))
+                if b in self.seconds.get("sharded", {})
+            },
+            "sharded": self.sharded,
             "metrics": self.metrics,
             "transfers_per_batch": {
                 path: {str(b): phases for b, phases in by_batch.items()}
@@ -214,6 +270,7 @@ def measure_path(
     backend: str = "numpy",
     device_resident: bool = False,
     transfers_out: dict | None = None,
+    shards: int = 0,
 ) -> dict[str, float]:
     """Min-of-rounds per-phase host seconds for one op path.
 
@@ -225,6 +282,9 @@ def measure_path(
     ``repro.xp`` array backend (non-numpy backends require the batched
     path; the warm-up batch also absorbs any device initialization) and
     ``device_resident`` pins table columns device-side across batches.
+    ``shards`` > 1 routes the batch through the multi-shard engine
+    (implies the batched path; an extra ``sequencer`` entry reports the
+    deterministic router's host cost and counts toward ``total``).
 
     When ``transfers_out`` is given and the backend has a transfer
     ledger, the final measured batch's per-phase ledger deltas are
@@ -237,19 +297,21 @@ def measure_path(
     )
     config = dataclasses.replace(
         ltpg_config(bench.batch_size),
-        columnar_ops=columnar or batched or parallel > 0,
-        batched_exec=batched or parallel > 0,
+        columnar_ops=columnar or batched or parallel > 0 or shards > 1,
+        batched_exec=batched or parallel > 0 or shards > 1,
         parallel_workers=parallel,
         array_backend=backend,
         device_resident=device_resident,
+        shards=shards if shards > 1 else 1,
     )
+    phases = PHASES + ("sequencer",) if shards > 1 else PHASES
     engine = bench.engine(config)
     try:
         engine.run_batch(bench.generator.make_batch(bench.batch_size))  # warm-up
         best: dict[str, float] = {}
         for _ in range(max(rounds, 1)):
             engine.run_batch(bench.generator.make_batch(bench.batch_size))
-            for phase in PHASES:
+            for phase in phases:
                 t = engine.last_host_phase_s.get(phase, 0.0)
                 if phase not in best or t < best[phase]:
                     best[phase] = t
@@ -261,7 +323,7 @@ def measure_path(
             transfers_out.update(engine.last_phase_transfers)
     finally:
         engine.close()
-    best["total"] = sum(best[p] for p in PHASES)
+    best["total"] = sum(best[p] for p in phases)
     return best
 
 
@@ -293,6 +355,48 @@ def measure_metrics(
         batch = bench.generator.make_batch(bench.batch_size)
         run_stats.add(engine.run_batch(batch).stats)
     return run_stats.metrics_summary()
+
+
+def measure_sharded_profile(
+    shards: int,
+    batch_size: int = HEADLINE_BATCH,
+    scale: float = 1.0,
+    batches: int = 2,
+    warehouses: int = 32,
+    neworder_pct: int = 50,
+    seed: int = 7,
+) -> dict:
+    """Multi-shard extras for ``BENCH_wallclock.json``: the per-table
+    balance ledger of the headline database under the workload's
+    partition map, plus the ``shard`` block (multi-home fraction,
+    balance, sequencer stall) of a short traced sharded run.
+
+    Runs serially (no worker pool) — routing statistics and the ledger
+    do not depend on how the shard lanes are executed.
+    """
+    bench = tpcc_bench(
+        warehouses, neworder_pct=neworder_pct, batch_size=batch_size,
+        scale=scale, seed=seed,
+    )
+    config = dataclasses.replace(
+        ltpg_config(bench.batch_size),
+        columnar_ops=True, batched_exec=True, trace=True, shards=shards,
+    )
+    engine = bench.engine(config)
+    run_stats = RunStats()
+    try:
+        for _ in range(max(batches, 1)):
+            batch = bench.generator.make_batch(bench.batch_size)
+            run_stats.add(engine.run_batch(batch).stats)
+        part = getattr(engine, "partition", None)
+        ledger = part.profile() if part is not None else {}
+    finally:
+        engine.close()
+    return {
+        "shards": shards,
+        "balance_ledger": ledger,
+        "metrics": run_stats.metrics_summary().get("shard", {}),
+    }
 
 
 #: Worker count the ``parallel`` sweep path runs with (the acceptance
@@ -331,22 +435,25 @@ def run(
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
         "parallel_workers": parallel_workers,
+        # the sharded column runs N shards with N process workers
+        "shards": parallel_workers,
         # active array backend + library version: the per-backend
         # column's backend when one was requested, else the reference
         # every standard path runs on
         "array_backend": get_backend(backend or "numpy").device_info(),
     }
     paths = [
-        ("parallel", True, True, parallel_workers, "numpy", False),
-        ("batched", True, True, 0, "numpy", False),
-        ("columnar", True, False, 0, "numpy", False),
-        ("reference", False, False, 0, "numpy", False),
+        ("sharded", True, True, parallel_workers, "numpy", False, parallel_workers),
+        ("parallel", True, True, parallel_workers, "numpy", False, 0),
+        ("batched", True, True, 0, "numpy", False, 0),
+        ("columnar", True, False, 0, "numpy", False, 0),
+        ("reference", False, False, 0, "numpy", False, 0),
     ]
     if backend is not None and backend != "numpy":
-        paths.insert(0, (f"batched[{backend}]", True, True, 0, backend, False))
-        paths.insert(0, (f"resident[{backend}]", True, True, 0, backend, True))
-    for path, columnar, batched, workers, xp_name, resident in paths:
-        if path == "parallel" and workers <= 0:
+        paths.insert(0, (f"batched[{backend}]", True, True, 0, backend, False, 0))
+        paths.insert(0, (f"resident[{backend}]", True, True, 0, backend, True, 0))
+    for path, columnar, batched, workers, xp_name, resident, shards in paths:
+        if path in ("parallel", "sharded") and workers <= 1:
             continue
         by_batch: dict[int, dict[str, float]] = {}
         for batch in batch_sizes:
@@ -356,6 +463,7 @@ def run(
                 warehouses=warehouses, neworder_pct=neworder_pct, seed=seed,
                 batched=batched, parallel=workers, backend=xp_name,
                 device_resident=resident, transfers_out=transfers,
+                shards=shards,
             )
             if transfers:
                 result.transfers.setdefault(path, {})[batch] = transfers
@@ -364,6 +472,11 @@ def run(
         scale=scale, warehouses=warehouses, neworder_pct=neworder_pct,
         seed=seed,
     )
+    if parallel_workers > 1:
+        result.sharded = measure_sharded_profile(
+            parallel_workers, scale=scale, warehouses=warehouses,
+            neworder_pct=neworder_pct, seed=seed,
+        )
     return result
 
 

@@ -125,6 +125,24 @@ class LTPGConfig:
     #: keep the baseline per-batch round-trip path.
     resident_tables: frozenset[str] = frozenset()
 
+    #: Engine shards (:mod:`repro.shard`): partition the database by a
+    #: workload partition spec (TPC-C by warehouse, SmallBank/YCSB by
+    #: key range) and run conflict registration + write-back per shard,
+    #: with single-home transactions executing entirely on their home
+    #: shard and multi-home ones sequenced Calvin-style at a
+    #: deterministic coordinator.  ``1`` (the default) is today's
+    #: single-engine pipeline; any N produces byte-identical final
+    #: states.  Requires ``batched_exec``; combined with
+    #: ``parallel_workers`` the worker count must equal the shard count
+    #: (worker *w* owns shard *w*'s lanes).
+    shards: int = 1
+
+    #: Which partition spec maps rows and transactions to shards:
+    #: ``"auto"`` (inspect the database's table names and pick the
+    #: matching workload spec), ``"tpcc"``, ``"ycsb"`` or
+    #: ``"smallbank"``.  Ignored when ``shards == 1``.
+    shard_spec: str = "auto"
+
     #: Columns managed by delayed updates: {(table, column), ...}.  These
     #: must be accessed only through ADD operations within a batch.
     delayed_columns: frozenset[tuple[str, str]] = frozenset()
@@ -205,6 +223,28 @@ class LTPGConfig:
                     "with sanitize: the shadow access log instruments host "
                     "arrays and would not observe device-resident kernels"
                 )
+        if self.shards < 1:
+            raise ConfigError("shards must be >= 1")
+        if self.shards > 1 and not self.batched_exec:
+            raise ConfigError(
+                "shards > 1 requires batched_exec: the sharded pipeline "
+                "routes the columnar conflict registration and write-back "
+                "paths, which only the batched executor produces"
+            )
+        if self.shards > 1 and self.parallel_workers > 0 and (
+            self.parallel_workers != self.shards
+        ):
+            raise ConfigError(
+                f"parallel_workers ({self.parallel_workers}) must equal "
+                f"shards ({self.shards}) when both are set: worker w "
+                "executes exactly shard w's lanes, so the pool and the "
+                "partition must agree on the fan-out"
+            )
+        if self.shard_spec not in ("auto", "tpcc", "ycsb", "smallbank"):
+            raise ConfigError(
+                f"unknown shard_spec {self.shard_spec!r}; expected 'auto', "
+                "'tpcc', 'ycsb', or 'smallbank'"
+            )
         if self.device_resident and not self.batched_exec:
             raise ConfigError(
                 "device_resident requires batched_exec: only the batched "

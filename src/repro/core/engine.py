@@ -202,6 +202,27 @@ class LTPGEngine:
         # lazily per backend by _ensure_residency.
         self._residency = None
         self._residency_key: tuple | None = None
+        # Sharding hooks, installed per batch by repro.shard's
+        # ShardedEngine wrapper and cleared after.  shard_plan maps
+        # batch position -> coordinator shard (the wrapper lays the
+        # batch out shard-major, so each execute group's lanes are
+        # shard-contiguous and worker w runs exactly shard w's lanes);
+        # shard_router partitions write-back cells by row owner;
+        # shard_updaters are the per-shard delayed-update mergers.
+        self.shard_plan = None
+        self.shard_router = None
+        self.shard_updaters = None
+        # shard_order[j] = the admission-order index of batch position j.
+        # The insert install keys its slot assignment on it so appended
+        # rows claim exactly the physical slots the unsharded engine
+        # would assign — slot order feeds the secondary/ordered indexes,
+        # which later batches observe.
+        self.shard_order = None
+        # Config facets the pool was built against; _ensure_pool
+        # rebuilds when a swapped config changes any of them (the
+        # registry version alone missed worker-count swaps and leaked
+        # the old pool's shared-memory segments).
+        self._pool_key: tuple | None = None
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -266,11 +287,21 @@ class LTPGEngine:
 
     def _ensure_pool(self):
         """The lazily-created worker pool, rebuilt if the procedure
-        registry changed since the pool pickled its twins."""
-        if (
-            self._pool is not None
-            and self._pool.registry_version != self.procedures.version
-        ):
+        registry — or any pool-shaping config facet (worker count,
+        start method, delayed columns) — changed since the pool pickled
+        its twins."""
+        delayed = (
+            self.config.delayed_columns
+            if self.config.delayed_update
+            else frozenset()
+        )
+        key = (
+            self.procedures.version,
+            self.config.parallel_workers,
+            self.config.resolved_start_method(),
+            delayed,
+        )
+        if self._pool is not None and self._pool_key != key:
             self._pool.close()
             self._pool = None
         if self._pool is None:
@@ -285,13 +316,10 @@ class LTPGEngine:
                 twins,
                 num_workers=self.config.parallel_workers,
                 start_method=self.config.resolved_start_method(),
-                delayed_columns=(
-                    self.config.delayed_columns
-                    if self.config.delayed_update
-                    else frozenset()
-                ),
+                delayed_columns=delayed,
                 registry_version=self.procedures.version,
             )
+            self._pool_key = key
         return self._pool
 
     def _ensure_backend(self):
@@ -1055,7 +1083,20 @@ class LTPGEngine:
                 sharded.append(
                     (name, [transactions[i].params for i in idxs])
                 )
-        pool.dispatch(sharded)
+        splits = None
+        if self.shard_plan is not None:
+            # Shard-major batches split by ownership, not evenly: worker
+            # w gets exactly shard w's lanes of each group (the plan is
+            # nondecreasing within a group, so the counts describe
+            # contiguous runs).
+            splits = [
+                np.bincount(
+                    self.shard_plan[np.asarray(idxs, dtype=np.int64)],
+                    minlength=pool.num_workers,
+                ).tolist()
+                for _name, idxs in plan_groups
+            ]
+        pool.dispatch(sharded, splits=splits)
         # parent-side work overlaps the workers: twin-less groups run
         # scalar here while the shards execute
         scalar_parts: dict[str, GroupLocals] = {}
@@ -1576,14 +1617,36 @@ class LTPGEngine:
                 else:
                     target[rows[s:e]] = vals[s:e]
 
-        scatter(
-            bl.w_table[w_keep], bl.w_row[w_keep], bl.w_col[w_keep],
-            bl.w_val[w_keep], accumulate=False,
-        )
-        scatter(
-            bl.a_table[a_keep], bl.a_row[a_keep], bl.a_col[a_keep],
-            bl.a_val[a_keep], accumulate=True,
-        )
+        router = self.shard_router
+        if router is None:
+            scatter(
+                bl.w_table[w_keep], bl.w_row[w_keep], bl.w_col[w_keep],
+                bl.w_val[w_keep], accumulate=False,
+            )
+            scatter(
+                bl.a_table[a_keep], bl.a_row[a_keep], bl.a_col[a_keep],
+                bl.a_val[a_keep], accumulate=True,
+            )
+        else:
+            # Sharded write-back: partition committed cells by row owner
+            # and scatter shard by shard in fixed ascending order.  The
+            # subsets are disjoint (one owner per row), committed writes
+            # are WAW-disjoint and adds commute, so the result is
+            # byte-identical to the single global scatter.
+            for tables, rows, cols, vals, accumulate in (
+                (bl.w_table[w_keep], bl.w_row[w_keep], bl.w_col[w_keep],
+                 bl.w_val[w_keep], False),
+                (bl.a_table[a_keep], bl.a_row[a_keep], bl.a_col[a_keep],
+                 bl.a_val[a_keep], True),
+            ):
+                owners = router.owner_cells(tables, rows)
+                for s in range(router.shards):
+                    m = owners == s
+                    if m.any():
+                        scatter(
+                            tables[m], rows[m], cols[m], vals[m],
+                            accumulate=accumulate,
+                        )
         # Inserts claim slots per table in (transaction, emission) order
         # — the scalar slot assignment — but install in bulk: keys that
         # already exist (or repeat within the committed batch; the
@@ -1591,7 +1654,14 @@ class LTPGEngine:
         # scalar get_row guard) drop out, the survivors take consecutive
         # slots, and the payload columns scatter per emission chunk.
         if bl.i_txn.size:
-            order = np.lexsort((bl.i_seq, bl.i_txn))
+            if self.shard_order is not None:
+                # shard-major batches: install in *admission* order, not
+                # batch-position order, so slot assignment (and with it
+                # secondary-index order) matches the unsharded engine
+                txn_rank = self.shard_order[bl.i_txn]
+            else:
+                txn_rank = bl.i_txn
+            order = np.lexsort((bl.i_seq, txn_rank))
             order = order[commit[bl.i_txn[order]]]
         else:
             order = np.empty(0, dtype=np.int64)
@@ -1640,10 +1710,26 @@ class LTPGEngine:
                     residency.note_appended(table, rows)
         ctx.add_global_writes(cells)
         ctx.add_instructions(_APPLY_INSTRUCTIONS * max(1, cells))
-        self.delayed.apply_arrays(
-            bl.d_table[d_keep], bl.d_row[d_keep], bl.d_col[d_keep],
-            bl.d_val[d_keep], ctx, xp=xp, residency=residency,
-        )
+        if router is None or self.shard_updaters is None:
+            self.delayed.apply_arrays(
+                bl.d_table[d_keep], bl.d_row[d_keep], bl.d_col[d_keep],
+                bl.d_val[d_keep], ctx, xp=xp, residency=residency,
+            )
+        else:
+            # Per-shard delayed-update merge, same disjoint-partition
+            # argument as the scatters above; the cost model even agrees
+            # (deltas sum, and the owner subsets partition the distinct
+            # target cells).
+            d_t, d_r = bl.d_table[d_keep], bl.d_row[d_keep]
+            d_c, d_v = bl.d_col[d_keep], bl.d_val[d_keep]
+            owners = router.owner_cells(d_t, d_r)
+            for s, updater in enumerate(self.shard_updaters):
+                m = owners == s
+                if m.any():
+                    updater.apply_arrays(
+                        d_t[m], d_r[m], d_c[m], d_v[m], ctx,
+                        xp=xp, residency=residency,
+                    )
         if self.memory_plan.mode is MemoryMode.UNIFIED and (
             w_keep.any() or a_keep.any()
         ):

@@ -160,11 +160,17 @@ class WorkerPool:
         _LIVE_POOLS.add(self)
 
     # -- per-batch protocol -------------------------------------------------
-    def dispatch(self, groups: Sequence[tuple[str, list[tuple]]]) -> None:
+    def dispatch(
+        self,
+        groups: Sequence[tuple[str, list[tuple]]],
+        splits: Sequence[Sequence[int]] | None = None,
+    ) -> None:
         """Send this batch's work: ``groups`` is ``[(procedure_name,
         params_in_lane_order), ...]``.  Every worker receives the epoch
         deltas (even with no shards) so replicas stay in sync; shards
-        are contiguous lane ranges per group."""
+        are contiguous lane ranges per group — split evenly by default,
+        or by ``splits[gi]`` (one size per worker, summing to the group's
+        lane count) when the caller routes lanes by data ownership."""
         if self._closed:
             raise ParallelExecutionError("worker pool is closed")
         if self._pending is not None:
@@ -173,7 +179,15 @@ class WorkerPool:
         tasks: list[list] = [[] for _ in range(self.num_workers)]
         pending = []
         for gi, (name, params) in enumerate(groups):
-            sizes = shard_sizes(len(params), self.num_workers)
+            if splits is None:
+                sizes = shard_sizes(len(params), self.num_workers)
+            else:
+                sizes = list(splits[gi])
+                if len(sizes) != self.num_workers or sum(sizes) != len(params):
+                    raise ParallelExecutionError(
+                        f"bad split for group {gi}: {sizes} does not cover "
+                        f"{len(params)} lanes across {self.num_workers} workers"
+                    )
             off = 0
             for w, size in enumerate(sizes):
                 if size:
@@ -265,6 +279,15 @@ class WorkerPool:
         snapshot = getattr(self, "snapshot", None)
         if snapshot is not None:
             snapshot.close()
+
+    def __del__(self) -> None:
+        # Last-resort teardown: an engine that drops its pool reference
+        # without close() (e.g. a config swap rebuilding the pool) must
+        # not leak worker processes or /dev/shm segments until atexit.
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def __enter__(self) -> "WorkerPool":
         return self

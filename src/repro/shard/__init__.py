@@ -1,0 +1,26 @@
+"""Multi-shard engine: partitioned conflict detection and write-back
+with a deterministic cross-shard commit (see :mod:`repro.shard.engine`
+for the full design and determinism argument)."""
+
+from repro.shard.conflict import ShardedConflictLog
+from repro.shard.engine import ShardedEngine, make_engine
+from repro.shard.partition import (
+    MOD,
+    BoundPartition,
+    PartitionSpec,
+    TableRule,
+    div_mod,
+    resolve_spec,
+)
+
+__all__ = [
+    "MOD",
+    "BoundPartition",
+    "PartitionSpec",
+    "ShardedConflictLog",
+    "ShardedEngine",
+    "TableRule",
+    "div_mod",
+    "make_engine",
+    "resolve_spec",
+]

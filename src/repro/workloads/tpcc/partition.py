@@ -1,0 +1,70 @@
+"""TPC-C partitioning: everything hangs off the warehouse.
+
+The classic TPC-C partition map (Calvin, H-Store) keys ownership on the
+warehouse id embedded in each primary key: district keys are
+``w*10 + d``, customer keys ``(w*10 + d)*3000 + c``, stock keys
+``w*num_items + i``.  A ``div_mod`` rule per table recovers ``w`` and
+owns the row at ``w % shards``.
+
+Two table families do *not* anchor a transaction's home:
+
+* **item** — a read-only catalog; real deployments replicate it, here
+  its reads are simply forwarded to the mod-owner's conflict slice.
+* **orders / new_order / order_line / history** — keyed by client-side
+  counters, so they take the default ``mod`` rule; a single-home
+  NewOrder still inserts rows that hash to other shards, and those
+  installs flow through the engine's central deterministic insert step.
+
+The classifier therefore derives homes from warehouse-anchored keys
+only: NewOrder and Payment from the district warehouse plus the paying
+customer's warehouse (Payment's 15% remote customers are the workload's
+multi-home source), OrderStatus from the customer's warehouse,
+StockLevel and Delivery from their warehouse parameter.
+"""
+
+from __future__ import annotations
+
+from repro.shard.partition import MOD, BoundPartition, PartitionSpec, TableRule, div_mod
+from repro.txn.transaction import Transaction
+from repro.workloads.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT,
+    DISTRICTS_PER_WAREHOUSE,
+)
+
+_CUSTOMER_DIVISOR = DISTRICTS_PER_WAREHOUSE * CUSTOMERS_PER_DISTRICT
+
+
+def _rules(database) -> dict[str, TableRule]:
+    return {
+        "warehouse": MOD,
+        "district": div_mod(DISTRICTS_PER_WAREHOUSE),
+        "customer": div_mod(_CUSTOMER_DIVISOR),
+        "stock": div_mod(max(1, database.table("item").num_rows)),
+        "item": MOD,
+    }
+
+
+def _classify(txn: Transaction, part: BoundPartition) -> tuple[int, ...]:
+    p = txn.params
+    name = txn.procedure_name
+    own = part.owner_key
+    if name in ("neworder", "payment"):
+        # (w, d, c_key, ...): the district warehouse and the customer's
+        # warehouse (recovered from the composite key).
+        homes = {own("warehouse", p[0]), own("warehouse", p[2] // _CUSTOMER_DIVISOR)}
+    elif name == "orderstatus":
+        homes = {own("warehouse", p[0] // _CUSTOMER_DIVISOR)}
+    elif name in ("stocklevel", "delivery"):
+        homes = {own("warehouse", p[0])}
+    else:
+        # Unknown procedure: conservatively treat it as touching every
+        # shard, so it is sequenced deterministically rather than
+        # misrouted.
+        homes = set(range(part.shards))
+    return tuple(sorted(homes))
+
+
+def tpcc_partition_spec() -> PartitionSpec:
+    return PartitionSpec(
+        name="tpcc", rules_for=_rules, default=MOD, classify=_classify
+    )
